@@ -1,0 +1,59 @@
+//! Baseline comparisons (experiments T5/T8's timing side).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use llp_baselines::{chan_chen, clarkson_classic};
+use llp_bigdata::streaming::{self as stream_impl, SamplingMode};
+use llp_core::clarkson::ClarksonConfig;
+use llp_core::instances::lp::LpProblem;
+use llp_geom::Halfspace;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+const N: usize = 100_000;
+
+fn setup() -> (LpProblem, Vec<Halfspace>, Vec<chan_chen::Line>) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let lines = llp_workloads::random_lines(N, &mut rng);
+    let cs: Vec<Halfspace> = lines
+        .iter()
+        .map(|l| Halfspace::new(vec![l.slope, -1.0], -l.intercept))
+        .collect();
+    (LpProblem::new(vec![0.0, 1.0]), cs, lines)
+}
+
+fn bench_ours_vs_baselines(c: &mut Criterion) {
+    let (p, cs, lines) = setup();
+    let mut group = c.benchmark_group("t5_baselines_2d");
+    group.sample_size(10);
+    for r in [2u32, 3] {
+        group.bench_function(BenchmarkId::new("ours", r), |b| {
+            b.iter(|| {
+                let mut rr = StdRng::seed_from_u64(2);
+                black_box(
+                    stream_impl::solve(
+                        &p,
+                        &cs,
+                        &ClarksonConfig::calibrated(r),
+                        SamplingMode::OnePassSpeculative,
+                        &mut rr,
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+        group.bench_function(BenchmarkId::new("chan_chen", r), |b| {
+            b.iter(|| black_box(chan_chen::minimize_envelope(&lines, -1e6, 1e6, r)))
+        });
+    }
+    group.bench_function("clarkson_classic", |b| {
+        b.iter(|| {
+            let mut rr = StdRng::seed_from_u64(3);
+            black_box(clarkson_classic::solve_streaming(&p, &cs, &mut rr).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ours_vs_baselines);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! SVM and MEB end-to-end benches (experiments T6/T7's timing side).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use llp_bigdata::streaming::{self as stream_impl, SamplingMode};
+use llp_core::clarkson::ClarksonConfig;
+use llp_core::instances::meb::MebProblem;
+use llp_core::instances::svm::SvmProblem;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_svm_streaming(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t6_svm_streaming");
+    group.sample_size(10);
+    for d in [2usize, 3] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (pts, _) = llp_workloads::separable_clouds(50_000, d, 0.5, &mut rng);
+        let p = SvmProblem::new(d);
+        group.bench_function(BenchmarkId::new("d", d), |b| {
+            b.iter(|| {
+                let mut rr = StdRng::seed_from_u64(2);
+                black_box(
+                    stream_impl::solve(
+                        &p,
+                        &pts,
+                        &ClarksonConfig::calibrated(2),
+                        SamplingMode::TwoPassIid,
+                        &mut rr,
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_meb_streaming(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t7_meb_streaming");
+    group.sample_size(10);
+    for d in [2usize, 3] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pts = llp_workloads::sphere_shell(50_000, d, 3.0, &mut rng);
+        let p = MebProblem::new(d);
+        group.bench_function(BenchmarkId::new("d", d), |b| {
+            b.iter(|| {
+                let mut rr = StdRng::seed_from_u64(4);
+                black_box(
+                    stream_impl::solve(
+                        &p,
+                        &pts,
+                        &ClarksonConfig::calibrated(2),
+                        SamplingMode::OnePassSpeculative,
+                        &mut rr,
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_svm_streaming, bench_meb_streaming);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Section 5 benches: hard-instance generation, protocols, and the 2-D LP
+//! reduction (experiments F1/F2/T12's timing side).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use llp_lowerbound::{augindex, hard, protocol, reduction};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_hard_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f2_hard_sampling");
+    group.sample_size(10);
+    for (n_base, rounds) in [(16usize, 1u32), (16, 2), (8, 3)] {
+        let params = hard::HardParams { n_base, rounds };
+        group.bench_function(BenchmarkId::new(format!("N{n_base}"), rounds), |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                black_box(hard::sample(&params, &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t12_protocols");
+    group.sample_size(20);
+    let n = 1 << 16;
+    let x: Vec<u8> = (0..n - 1).map(|i| ((i * 13 + 5) % 2) as u8).collect();
+    let inst = augindex::build_instance(&x, n / 3 + 1, augindex::default_steep(n));
+    for r in [1u32, 2, 4] {
+        group.bench_function(BenchmarkId::new("r_round", r), |b| {
+            b.iter(|| black_box(protocol::r_round(&inst, r)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_lp_reduction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f1_lp_reduction");
+    group.sample_size(10);
+    for n in [64usize, 512] {
+        let x: Vec<u8> = (0..n - 1).map(|i| ((i * 7 + 1) % 2) as u8).collect();
+        let inst = augindex::build_instance(&x, n / 2, augindex::default_steep(n));
+        group.bench_function(BenchmarkId::new("exact_lp", n), |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(2);
+                black_box(reduction::answer_via_lp(&inst, &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hard_sampling, bench_protocols, bench_lp_reduction);
+criterion_main!(benches);

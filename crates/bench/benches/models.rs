@@ -1,0 +1,97 @@
+//! End-to-end benches of Algorithm 1 in RAM and in the three big data
+//! models (experiments T1–T4's timing side).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use llp_bigdata::coordinator as coord_impl;
+use llp_bigdata::mpc::{self as mpc_impl, MpcConfig};
+use llp_bigdata::streaming::{self as stream_impl, SamplingMode};
+use llp_core::clarkson::ClarksonConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+const N: usize = 100_000;
+
+fn bench_ram_meta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t1_ram_meta");
+    group.sample_size(10);
+    for r in [1u32, 2, 4] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (p, cs) = llp_workloads::random_lp(N, 2, &mut rng);
+        group.bench_function(BenchmarkId::new("r", r), |b| {
+            b.iter(|| {
+                let mut rr = StdRng::seed_from_u64(2);
+                black_box(
+                    llp_core::clarkson_solve(&p, &cs, &ClarksonConfig::calibrated(r), &mut rr)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_streaming(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t2_streaming");
+    group.sample_size(10);
+    for r in [1u32, 2, 4] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (p, cs) = llp_workloads::random_lp(N, 2, &mut rng);
+        for (mode, name) in [
+            (SamplingMode::TwoPassIid, "2pass"),
+            (SamplingMode::OnePassSpeculative, "1pass"),
+        ] {
+            group.bench_function(BenchmarkId::new(name, r), |b| {
+                b.iter(|| {
+                    let mut rr = StdRng::seed_from_u64(4);
+                    black_box(
+                        stream_impl::solve(&p, &cs, &ClarksonConfig::calibrated(r), mode, &mut rr)
+                            .unwrap(),
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_coordinator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t3_coordinator");
+    group.sample_size(10);
+    for k in [2usize, 16] {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (p, cs) = llp_workloads::random_lp(N, 2, &mut rng);
+        group.bench_function(BenchmarkId::new("k", k), |b| {
+            b.iter(|| {
+                let mut rr = StdRng::seed_from_u64(6);
+                black_box(
+                    coord_impl::solve(&p, cs.clone(), k, &ClarksonConfig::calibrated(2), &mut rr)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mpc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t4_mpc");
+    group.sample_size(10);
+    for delta in [0.33f64, 0.5] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let (p, cs) = llp_workloads::random_lp(N, 2, &mut rng);
+        group.bench_function(BenchmarkId::new("delta", format!("{delta:.2}")), |b| {
+            b.iter(|| {
+                let mut rr = StdRng::seed_from_u64(8);
+                black_box(
+                    mpc_impl::solve(&p, cs.clone(), &MpcConfig::calibrated(delta), &mut rr)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ram_meta, bench_streaming, bench_coordinator, bench_mpc);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Microbenchmarks of the basis solvers (the `T_b`/`T_v` primitives of
+//! Propositions 4.1–4.3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use llp_core::instances::svm::SvmPoint;
+use llp_solver::lexico::lex_min_optimum;
+use llp_solver::seidel::{self, SeidelConfig};
+use llp_solver::svm_qp::{self, SvmConfig};
+use llp_solver::welzl::min_enclosing_ball;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_seidel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("seidel_lp");
+    group.sample_size(20);
+    for d in [2usize, 4, 6] {
+        for m in [1_000usize, 10_000] {
+            let mut rng = StdRng::seed_from_u64(1);
+            let (p, cs) = llp_workloads::random_lp(m, d, &mut rng);
+            group.bench_with_input(
+                BenchmarkId::new(format!("d{d}"), m),
+                &(p, cs),
+                |b, (p, cs)| {
+                    b.iter(|| {
+                        let mut r = StdRng::seed_from_u64(2);
+                        black_box(seidel::solve(
+                            cs,
+                            &p.objective,
+                            &SeidelConfig::default(),
+                            &mut r,
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_lexico(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lexicographic_lp");
+    group.sample_size(20);
+    for d in [2usize, 4] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (p, cs) = llp_workloads::random_lp(5_000, d, &mut rng);
+        group.bench_function(BenchmarkId::new("lex_min", d), |b| {
+            b.iter(|| {
+                let mut r = StdRng::seed_from_u64(4);
+                black_box(lex_min_optimum(&cs, &p.objective, &SeidelConfig::default(), &mut r))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_welzl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("welzl_meb");
+    group.sample_size(20);
+    for d in [2usize, 3, 5] {
+        let mut rng = StdRng::seed_from_u64(5);
+        let pts = llp_workloads::ball_cloud(20_000, d, 5.0, &mut rng);
+        group.bench_function(BenchmarkId::new("meb", d), |b| {
+            b.iter(|| {
+                let mut r = StdRng::seed_from_u64(6);
+                black_box(min_enclosing_ball(&pts, &mut r))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_svm_qp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("svm_active_set");
+    group.sample_size(20);
+    for d in [2usize, 4] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let (pts, _) = llp_workloads::separable_clouds(10_000, d, 0.5, &mut rng);
+        let points: Vec<Vec<f64>> = pts.iter().map(|p: &SvmPoint| p.x.clone()).collect();
+        let labels: Vec<i8> = pts.iter().map(|p| p.y).collect();
+        group.bench_function(BenchmarkId::new("qp", d), |b| {
+            b.iter(|| black_box(svm_qp::solve(&points, &labels, &SvmConfig::default())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_seidel, bench_lexico, bench_welzl, bench_svm_qp);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Regenerates the experiment tables (see DESIGN.md §3 / EXPERIMENTS.md).
+//!
+//! Usage:
+//! ```text
+//! experiments [--quick] [id ...]
+//! ```
+//! With no ids, runs everything. `--quick` shrinks input sizes.
+
+fn main() {
+    let mut quick = false;
+    let mut ids: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" | "-q" => quick = true,
+            "--help" | "-h" => {
+                eprintln!("usage: experiments [--quick] [id ...]");
+                eprintln!("ids: {:?} or 'all' (default)", llp_bench::ALL);
+                return;
+            }
+            id => ids.push(id.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        ids.push("all".into());
+    }
+    for id in &ids {
+        for table in llp_bench::run(id, quick) {
+            println!("{}", table.render());
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Machinery shared by the three model implementations.
+//!
+//! The central trick of Section 3.2: the weight of a constraint is never
+//! stored. After `t` successful iterations with stored basis solutions
+//! `B_1, …, B_t`, constraint `c` has weight `F^{a(c)}` where
+//! `a(c) = |{ j : c violates B_j }|`. Everyone who holds the basis history
+//! (the streaming algorithm's memory, every coordinator site, every MPC
+//! machine) can therefore recompute any weight in `O(t · d)` time.
+
+use llp_core::lptype::LpTypeProblem;
+use llp_num::ScaledF64;
+
+/// The basis history of successful iterations plus the derived weight
+/// accounting for one holder (streaming memory / a site / a machine).
+#[derive(Clone, Debug)]
+pub struct WeightOracle<P: LpTypeProblem> {
+    /// Solutions of the accepted (successful) iterations, in order.
+    bases: Vec<P::Solution>,
+    /// The weight factor `F` (`n^{1/r}` or the ablation value).
+    factor: f64,
+}
+
+impl<P: LpTypeProblem> WeightOracle<P> {
+    /// An empty history with the given factor.
+    pub fn new(factor: f64) -> Self {
+        assert!(factor > 1.0, "weight factor must exceed 1");
+        WeightOracle { bases: Vec::new(), factor }
+    }
+
+    /// The weight factor.
+    pub fn factor(&self) -> f64 {
+        self.factor
+    }
+
+    /// Number of stored bases (`ℓ` in Lemma 3.7).
+    pub fn len(&self) -> usize {
+        self.bases.len()
+    }
+
+    /// True iff no basis has been accepted yet.
+    pub fn is_empty(&self) -> bool {
+        self.bases.is_empty()
+    }
+
+    /// Records an accepted basis.
+    pub fn push(&mut self, basis: P::Solution) {
+        self.bases.push(basis);
+    }
+
+    /// The violation count `a(c)` of a constraint.
+    pub fn exponent(&self, problem: &P, c: &P::Constraint) -> u32 {
+        self.bases.iter().filter(|b| problem.violates(b, c)).count() as u32
+    }
+
+    /// The weight `F^{a(c)}` of a constraint.
+    pub fn weight(&self, problem: &P, c: &P::Constraint) -> ScaledF64 {
+        ScaledF64::powi(self.factor, self.exponent(problem, c))
+    }
+
+    /// Total weight of a slice of constraints.
+    pub fn total_weight(&self, problem: &P, cs: &[P::Constraint]) -> ScaledF64 {
+        cs.iter().map(|c| self.weight(problem, c)).sum()
+    }
+
+    /// Bits this history occupies (the `Õ(ν²)·bit(S)` term of Theorem 1).
+    pub fn bits(&self, problem: &P) -> u64 {
+        problem.solution_bits() * self.bases.len() as u64
+    }
+}
+
+/// Shared per-run parameters derived from the paper's formulas.
+#[derive(Clone, Copy, Debug)]
+pub struct RunParams {
+    /// Weight factor `F`.
+    pub factor: f64,
+    /// `ε = 1/(10νF)`.
+    pub eps: f64,
+    /// ε-net size `m` (clamped to `n`).
+    pub net_size: usize,
+    /// Iteration cap.
+    pub max_iterations: usize,
+}
+
+impl RunParams {
+    /// Derives the parameters of Algorithm 1 for a problem with `n`
+    /// constraints from a [`ClarksonConfig`](llp_core::ClarksonConfig).
+    pub fn derive<P: LpTypeProblem>(
+        problem: &P,
+        n: usize,
+        cfg: &llp_core::ClarksonConfig,
+    ) -> Self {
+        let nu = problem.combinatorial_dim();
+        let lambda = problem.vc_dim();
+        let factor = cfg.factor.value(n);
+        let eps = 1.0 / (10.0 * nu as f64 * factor);
+        let net_size = cfg.net_size(n, nu, lambda);
+        RunParams { factor, eps, net_size, max_iterations: cfg.max_iterations }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llp_core::instances::lp::LpProblem;
+    use llp_core::ClarksonConfig;
+    use llp_geom::Halfspace;
+
+    #[test]
+    fn exponent_counts_violated_bases() {
+        let p = LpProblem::new(vec![1.0, 1.0]);
+        let mut oracle: WeightOracle<LpProblem> = WeightOracle::new(10.0);
+        // Basis solutions are just points.
+        oracle.push(vec![0.0, 0.0]);
+        oracle.push(vec![5.0, 5.0]);
+        // Constraint x + y ≤ 2 is satisfied by (0,0), violated by (5,5).
+        let c = Halfspace::new(vec![1.0, 1.0], 2.0);
+        assert_eq!(oracle.exponent(&p, &c), 1);
+        let w = oracle.weight(&p, &c);
+        assert!((w.to_f64() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_weight_starts_at_n() {
+        let p = LpProblem::new(vec![1.0, 1.0]);
+        let oracle: WeightOracle<LpProblem> = WeightOracle::new(7.0);
+        let cs: Vec<Halfspace> =
+            (0..50).map(|i| Halfspace::new(vec![1.0, 0.0], i as f64)).collect();
+        let total = oracle.total_weight(&p, &cs);
+        assert!((total.to_f64() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_params_match_formulas() {
+        let p = LpProblem::new(vec![1.0, 1.0]);
+        let cfg = ClarksonConfig::paper(2);
+        let params = RunParams::derive(&p, 10_000, &cfg);
+        assert!((params.factor - 100.0).abs() < 1e-9);
+        assert!((params.eps - 1.0 / 3000.0).abs() < 1e-12);
+        assert!(params.net_size <= 10_000);
+    }
+
+    #[test]
+    fn history_bits_scale_with_length() {
+        let p = LpProblem::new(vec![1.0, 1.0, 1.0]);
+        let mut oracle: WeightOracle<LpProblem> = WeightOracle::new(2.0);
+        assert_eq!(oracle.bits(&p), 0);
+        oracle.push(vec![0.0; 3]);
+        oracle.push(vec![1.0; 3]);
+        assert_eq!(oracle.bits(&p), 2 * 64 * 4);
+    }
+}

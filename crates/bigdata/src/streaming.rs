@@ -1,0 +1,361 @@
+//! Theorem 1: Algorithm 1 in the multi-pass streaming model.
+//!
+//! Memory between passes holds only (a) the basis history of successful
+//! iterations (`Õ(ν²)·bit(S)` bits — weights are recomputed from it on the
+//! fly, Section 3.2) and (b) the current ε-net buffer
+//! (`Õ(λνn^{1/r})·bit(S)` bits). Two sampling modes:
+//!
+//! * [`SamplingMode::TwoPassIid`] — faithful to Lemma 2.2: pass 1 draws the
+//!   net i.i.d. by inverting `m` sorted uniforms against the running
+//!   prefix-sum of reconstructed weights (the total weight is known
+//!   exactly from the previous iteration's bookkeeping); pass 2 runs the
+//!   violation test. Two passes per iteration — still `O(νr)` passes.
+//! * [`SamplingMode::OnePassSpeculative`] — one pass per iteration: while
+//!   the violation test of the *pending* basis streams by, two weighted
+//!   reservoirs (A-ExpJ) sample the next net under both possible outcomes
+//!   (accept/reject); the right one is kept once `w(V)` is known at the
+//!   end of the pass. Reservoir sampling is without replacement, which
+//!   only improves ε-net coverage (ablation A2).
+
+use crate::common::{RunParams, WeightOracle};
+use crate::BigDataError;
+use llp_core::lptype::LpTypeProblem;
+use llp_core::ClarksonConfig;
+use llp_models::streaming::StreamSession;
+use llp_num::ScaledF64;
+use llp_sampling::reservoir::WeightedReservoir;
+use llp_sampling::weighted::SortedTargetSampler;
+use rand::Rng;
+
+/// How each iteration's ε-net is drawn from the stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SamplingMode {
+    /// Two passes per iteration, i.i.d. with replacement (verbatim
+    /// Lemma 2.2 sampling).
+    TwoPassIid,
+    /// One pass per iteration via speculative double reservoirs.
+    OnePassSpeculative,
+}
+
+/// Statistics of a streaming run (experiment T2).
+#[derive(Clone, Debug, Default)]
+pub struct StreamingStats {
+    /// Passes over the stream.
+    pub passes: u64,
+    /// Iterations of Algorithm 1 (basis computations).
+    pub iterations: usize,
+    /// Successful iterations (weight updates).
+    pub successful_iterations: usize,
+    /// ε-net size `m`.
+    pub net_size: usize,
+    /// Peak retained bits (net + bases + sampler state).
+    pub peak_space_bits: u64,
+    /// Peak retained items.
+    pub peak_space_items: u64,
+    /// ε of Line 1.
+    pub eps: f64,
+    /// Weight factor `F = n^{1/r}`.
+    pub factor: f64,
+}
+
+/// Runs Algorithm 1 over `data` in the streaming model.
+///
+/// # Panics
+/// Panics if `data` is empty.
+pub fn solve<P: LpTypeProblem, R: Rng>(
+    problem: &P,
+    data: &[P::Constraint],
+    cfg: &ClarksonConfig,
+    mode: SamplingMode,
+    rng: &mut R,
+) -> Result<(P::Solution, StreamingStats), BigDataError> {
+    assert!(!data.is_empty(), "empty stream");
+    let mut session = StreamSession::new(data);
+    let out = match mode {
+        SamplingMode::TwoPassIid => run_two_pass(problem, &mut session, cfg, rng),
+        SamplingMode::OnePassSpeculative => run_one_pass(problem, &mut session, cfg, rng),
+    };
+    out.map(|(sol, mut stats)| {
+        stats.passes = session.passes();
+        stats.peak_space_bits = session.space.peak_bits();
+        stats.peak_space_items = session.space.peak_items();
+        (sol, stats)
+    })
+}
+
+fn run_two_pass<P: LpTypeProblem, R: Rng>(
+    problem: &P,
+    session: &mut StreamSession<'_, P::Constraint>,
+    cfg: &ClarksonConfig,
+    rng: &mut R,
+) -> Result<(P::Solution, StreamingStats), BigDataError> {
+    let n = session.len();
+    let params = RunParams::derive(problem, n, cfg);
+    let mut stats = StreamingStats {
+        net_size: params.net_size,
+        eps: params.eps,
+        factor: params.factor,
+        ..StreamingStats::default()
+    };
+    let mut oracle: WeightOracle<P> = WeightOracle::new(params.factor);
+    let mut total_weight = ScaledF64::from_f64(n as f64);
+    let cbits = problem.constraint_bits();
+
+    while stats.iterations < params.max_iterations {
+        stats.iterations += 1;
+
+        // ---- Pass 1: sample the ε-net i.i.d. proportional to weight. ----
+        let mut net: Vec<P::Constraint> = Vec::new();
+        if params.net_size >= n {
+            session.space.alloc_raw(n as u64 * cbits, n as u64);
+            net.extend(session.pass().cloned());
+        } else {
+            // Sorted uniform targets in [0, W); the sampler state is m
+            // 128-bit scaled values.
+            session.space.alloc_raw(params.net_size as u64 * 128, params.net_size as u64);
+            let mut sampler = SortedTargetSampler::new(params.net_size, total_weight, rng);
+            for c in session.pass() {
+                let hits = sampler.feed(oracle.weight(problem, c));
+                if hits > 0 {
+                    session.space.alloc_raw(cbits, 1);
+                    net.push(c.clone());
+                }
+            }
+            session.space.free_raw(params.net_size as u64 * 128, params.net_size as u64);
+        }
+
+        // ---- Basis of the net (local computation). ----
+        let solution = problem.solve_subset(&net, rng).map_err(BigDataError::from)?;
+        session.space.free_raw(net.len() as u64 * cbits, net.len() as u64);
+        drop(net);
+
+        // ---- Pass 2: violation test + exact new total weight. ----
+        let mut w_violators = ScaledF64::ZERO;
+        let mut violator_count = 0usize;
+        for c in session.pass() {
+            if problem.violates(&solution, c) {
+                violator_count += 1;
+                w_violators += oracle.weight(problem, c);
+            }
+        }
+
+        if w_violators.ratio(total_weight) <= params.eps {
+            if violator_count == 0 {
+                return Ok((solution, stats));
+            }
+            stats.successful_iterations += 1;
+            total_weight += w_violators * ScaledF64::from_f64(params.factor - 1.0);
+            session.space.alloc_raw(problem.solution_bits(), 1);
+            oracle.push(solution);
+        } else if cfg.failure_policy == llp_core::clarkson::FailurePolicy::Abort {
+            // Remark 3.6: the Monte-Carlo variant reports failure instead
+            // of retrying.
+            return Err(BigDataError::NetFailure);
+        }
+        // Failed iterations retry with fresh randomness (Las-Vegas).
+    }
+    Err(BigDataError::IterationLimit)
+}
+
+fn run_one_pass<P: LpTypeProblem, R: Rng>(
+    problem: &P,
+    session: &mut StreamSession<'_, P::Constraint>,
+    cfg: &ClarksonConfig,
+    rng: &mut R,
+) -> Result<(P::Solution, StreamingStats), BigDataError> {
+    let n = session.len();
+    let params = RunParams::derive(problem, n, cfg);
+    let mut stats = StreamingStats {
+        net_size: params.net_size,
+        eps: params.eps,
+        factor: params.factor,
+        ..StreamingStats::default()
+    };
+    let mut oracle: WeightOracle<P> = WeightOracle::new(params.factor);
+    let mut total_weight = ScaledF64::from_f64(n as f64);
+    let cbits = problem.constraint_bits();
+    let m = params.net_size;
+    let reservoir_bits = m as u64 * (cbits + 64);
+
+    // ---- Initial pass: draw the first net (all weights are 1). ----
+    session.space.alloc_raw(reservoir_bits, m as u64);
+    let mut reservoir = WeightedReservoir::new(m);
+    for c in session.pass() {
+        reservoir.offer(c.clone(), ScaledF64::ONE, rng);
+    }
+    let net = reservoir.into_items();
+    stats.iterations += 1;
+    let mut pending = problem.solve_subset(&net, rng).map_err(BigDataError::from)?;
+    session.space.free_raw(reservoir_bits, m as u64);
+    drop(net);
+
+    while stats.iterations < params.max_iterations {
+        // ---- Combined pass: violation-test `pending` while sampling the
+        // next net under both outcomes. ----
+        session.space.alloc_raw(2 * reservoir_bits, 2 * m as u64);
+        let mut res_accept = WeightedReservoir::new(m);
+        let mut res_reject = WeightedReservoir::new(m);
+        let mut w_violators = ScaledF64::ZERO;
+        let mut violator_count = 0usize;
+        let factor = ScaledF64::from_f64(params.factor);
+        for c in session.pass() {
+            let w = oracle.weight(problem, c);
+            let violated = problem.violates(&pending, c);
+            if violated {
+                violator_count += 1;
+                w_violators += w;
+                res_accept.offer(c.clone(), w * factor, rng);
+            } else {
+                res_accept.offer(c.clone(), w, rng);
+            }
+            res_reject.offer(c.clone(), w, rng);
+        }
+
+        let success = w_violators.ratio(total_weight) <= params.eps;
+        let net = if success {
+            if violator_count == 0 {
+                session.space.free_raw(2 * reservoir_bits, 2 * m as u64);
+                return Ok((pending, stats));
+            }
+            stats.successful_iterations += 1;
+            total_weight += w_violators * ScaledF64::from_f64(params.factor - 1.0);
+            session.space.alloc_raw(problem.solution_bits(), 1);
+            oracle.push(pending);
+            res_accept.into_items()
+        } else {
+            if cfg.failure_policy == llp_core::clarkson::FailurePolicy::Abort {
+                return Err(BigDataError::NetFailure);
+            }
+            res_reject.into_items()
+        };
+
+        stats.iterations += 1;
+        pending = problem.solve_subset(&net, rng).map_err(BigDataError::from)?;
+        session.space.free_raw(2 * reservoir_bits, 2 * m as u64);
+    }
+    Err(BigDataError::IterationLimit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llp_core::instances::lp::LpProblem;
+    use llp_core::instances::meb::MebProblem;
+    use llp_core::lptype::count_violations;
+    use llp_geom::Halfspace;
+    use llp_num::linalg::norm;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_lp(n: usize, d: usize, seed: u64) -> (LpProblem, Vec<Halfspace>) {
+        let mut r = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let mut cs = Vec::with_capacity(n);
+        while cs.len() < n {
+            let mut a: Vec<f64> = (0..d).map(|_| r.random_range(-1.0..1.0)).collect();
+            let nn = norm(&a);
+            if nn < 1e-6 {
+                continue;
+            }
+            a.iter_mut().for_each(|v| *v /= nn);
+            cs.push(Halfspace::new(a, 1.0));
+        }
+        let c: Vec<f64> = (0..d).map(|_| r.random_range(-1.0..1.0)).collect();
+        (LpProblem::new(c), cs)
+    }
+
+    #[test]
+    fn two_pass_solves_and_counts_passes() {
+        let (p, cs) = random_lp(4000, 2, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let (sol, stats) =
+            solve(&p, &cs, &ClarksonConfig::calibrated(2), SamplingMode::TwoPassIid, &mut rng)
+                .unwrap();
+        assert_eq!(count_violations(&p, &sol, &cs), 0);
+        assert_eq!(stats.passes as usize, 2 * stats.iterations, "two passes per iteration");
+        assert!(stats.peak_space_bits > 0);
+    }
+
+    #[test]
+    fn one_pass_solves_with_one_pass_per_iteration() {
+        let (p, cs) = random_lp(4000, 2, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let (sol, stats) = solve(
+            &p,
+            &cs,
+            &ClarksonConfig::calibrated(2),
+            SamplingMode::OnePassSpeculative,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(count_violations(&p, &sol, &cs), 0);
+        // One initial sampling pass, then exactly one combined pass per
+        // iteration.
+        assert_eq!(stats.passes as usize, stats.iterations + 1, "one pass per iteration");
+    }
+
+    #[test]
+    fn agrees_with_ram_clarkson_objective() {
+        let (p, cs) = random_lp(3000, 3, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let (sol, _) =
+            solve(&p, &cs, &ClarksonConfig::calibrated(2), SamplingMode::TwoPassIid, &mut rng)
+                .unwrap();
+        let (ram, _) = llp_core::clarkson_solve(&p, &cs, &ClarksonConfig::calibrated(2), &mut rng)
+            .unwrap();
+        let (v1, v2) = (p.objective_value(&sol), p.objective_value(&ram));
+        assert!((v1 - v2).abs() < 1e-5 * v1.abs().max(1.0), "{v1} vs {v2}");
+    }
+
+    #[test]
+    fn space_shrinks_with_larger_r() {
+        // Theorem 1: space ~ n^{1/r}; r = 1 vs r = 4 on the same input.
+        let (p, cs) = random_lp(20_000, 2, 7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let (_, s1) =
+            solve(&p, &cs, &ClarksonConfig::calibrated(1), SamplingMode::TwoPassIid, &mut rng)
+                .unwrap();
+        let (_, s4) =
+            solve(&p, &cs, &ClarksonConfig::calibrated(4), SamplingMode::TwoPassIid, &mut rng)
+                .unwrap();
+        assert!(
+            s4.peak_space_bits < s1.peak_space_bits,
+            "r=4 space {} should be below r=1 space {}",
+            s4.peak_space_bits,
+            s1.peak_space_bits
+        );
+        // And r = 1 completes in fewer iterations.
+        assert!(s1.iterations <= s4.iterations + 8);
+    }
+
+    #[test]
+    fn meb_streaming() {
+        use rand::Rng;
+        let mut r = StdRng::seed_from_u64(9);
+        let pts: Vec<Vec<f64>> =
+            (0..3000).map(|_| (0..3).map(|_| r.random_range(-4.0..4.0)).collect()).collect();
+        let p = MebProblem::new(3);
+        let (ball, _) =
+            solve(&p, &pts, &ClarksonConfig::calibrated(2), SamplingMode::OnePassSpeculative, &mut r)
+                .unwrap();
+        assert_eq!(count_violations(&p, &ball, &pts), 0);
+    }
+
+    #[test]
+    fn adversarial_order_still_works() {
+        // Sort constraints so the binding ones come last — a worst case
+        // for naive prefix heuristics; Algorithm 1 is order-oblivious.
+        let (p, mut cs) = random_lp(3000, 2, 10);
+        let mut rng = StdRng::seed_from_u64(11);
+        let direct = p.solve_subset(&cs, &mut rng).unwrap();
+        cs.sort_by(|a, b| {
+            let sa = a.slack(&direct);
+            let sb = b.slack(&direct);
+            sb.partial_cmp(&sa).unwrap()
+        });
+        let (sol, _) =
+            solve(&p, &cs, &ClarksonConfig::calibrated(2), SamplingMode::TwoPassIid, &mut rng)
+                .unwrap();
+        assert_eq!(count_violations(&p, &sol, &cs), 0);
+    }
+}

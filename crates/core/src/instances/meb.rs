@@ -1,0 +1,90 @@
+//! Minimum enclosing ball / Core Vector Machines as an LP-type problem
+//! (Section 4.3).
+//!
+//! Constraints are points to enclose; `f(A)` is the unique smallest ball
+//! containing `A`. Combinatorial dimension ≤ `d + 1` [32]; VC dimension of
+//! complements of balls ≤ `d + 1` [44].
+
+use crate::lptype::{LpTypeProblem, SolveError};
+use llp_geom::Point;
+use llp_solver::welzl::{min_enclosing_ball, Ball};
+use rand::RngCore;
+
+/// The MEB problem in `d` dimensions.
+#[derive(Clone, Debug)]
+pub struct MebProblem {
+    dim: usize,
+    /// Relative tolerance for the containment (violation) test.
+    pub violation_eps: f64,
+}
+
+impl MebProblem {
+    /// A problem over `R^d`.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim >= 1);
+        MebProblem { dim, violation_eps: 1e-7 }
+    }
+}
+
+impl LpTypeProblem for MebProblem {
+    type Constraint = Point;
+    type Solution = Ball;
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn solve_subset(&self, subset: &[Point], rng: &mut dyn RngCore) -> Result<Ball, SolveError> {
+        if subset.is_empty() {
+            return Ok(Ball::empty(self.dim));
+        }
+        Ok(min_enclosing_ball(subset, rng))
+    }
+
+    fn violates(&self, ball: &Ball, p: &Point) -> bool {
+        !ball.contains(p, self.violation_eps)
+    }
+
+    fn objective_value(&self, ball: &Ball) -> f64 {
+        ball.radius
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(23)
+    }
+
+    #[test]
+    fn solve_and_violate() {
+        let p = MebProblem::new(2);
+        let pts = vec![vec![0.0, 0.0], vec![2.0, 0.0]];
+        let ball = p.solve_subset(&pts, &mut rng()).unwrap();
+        assert!((ball.radius - 1.0).abs() < 1e-9);
+        assert!(!p.violates(&ball, &vec![1.0, 0.5]));
+        assert!(p.violates(&ball, &vec![5.0, 5.0]));
+        assert!((p.objective_value(&ball) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_ball_violated_by_everything() {
+        let p = MebProblem::new(2);
+        let ball = p.solve_subset(&[], &mut rng()).unwrap();
+        assert!(p.violates(&ball, &vec![0.0, 0.0]));
+    }
+
+    #[test]
+    fn monotone_radius() {
+        let p = MebProblem::new(3);
+        let mut pts = vec![vec![0.0, 0.0, 0.0], vec![1.0, 0.0, 0.0]];
+        let b1 = p.solve_subset(&pts, &mut rng()).unwrap();
+        pts.push(vec![0.0, 5.0, 0.0]);
+        let b2 = p.solve_subset(&pts, &mut rng()).unwrap();
+        assert!(b2.radius >= b1.radius);
+    }
+}

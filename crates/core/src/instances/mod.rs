@@ -1,0 +1,9 @@
+//! The three LP-type problem instances of Section 4.
+
+pub mod lp;
+pub mod meb;
+pub mod svm;
+
+pub use lp::LpProblem;
+pub use meb::MebProblem;
+pub use svm::{SvmPoint, SvmProblem};

@@ -1,0 +1,111 @@
+//! The LP-type problem abstraction (Section 2.1 + Properties (P1)/(P2)).
+//!
+//! The paper works with LP-type problems `(S, f)` where every constraint
+//! `X ∈ S` is a subset of the solution range and `f(A)` is the *minimal
+//! element of the intersection* of the constraints in `A` (Properties (P1)
+//! and (P2) in Section 3). This special structure is what makes the
+//! violation test a simple membership check: a constraint violates a basis
+//! `B` iff the canonical solution `f(B)` lies outside the constraint's
+//! set (proof of Claim 3.2).
+//!
+//! [`LpTypeProblem`] captures exactly that interface. Implementations own
+//! the problem-level data (objective vector, dimension); constraints are
+//! plain values so they can be streamed, partitioned, and serialized by
+//! the model simulators.
+
+use rand::RngCore;
+
+/// Why a subset could not be solved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SolveError {
+    /// The constraint intersection is empty. Since any subset's
+    /// infeasibility implies the whole problem's (monotonicity), the
+    /// meta-algorithm aborts with this verdict.
+    Infeasible,
+    /// The minimal element does not exist (the optimum escapes the
+    /// regularization box).
+    Unbounded,
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::Infeasible => write!(f, "constraint set is infeasible"),
+            SolveError::Unbounded => write!(f, "problem is unbounded"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// An LP-type problem satisfying Properties (P1) and (P2) of the paper.
+///
+/// `Constraint` is an element of `S`; `Solution` is the concrete
+/// representation of `f(A)` (an LP vertex, an SVM normal, a ball). The
+/// canonicity contract: `solve_subset` must return the *unique* canonical
+/// optimum (lexicographically smallest for LP), so that `violates` is
+/// well-defined and the locality property holds.
+pub trait LpTypeProblem {
+    /// One element of the constraint set `S`.
+    type Constraint: Clone + Send + Sync + 'static;
+    /// The canonical solution `f(A)`.
+    type Solution: Clone + PartialEq + Send + Sync + std::fmt::Debug + 'static;
+
+    /// Ambient dimension `d` of the problem.
+    fn dim(&self) -> usize;
+
+    /// Combinatorial dimension ν — the maximum basis size (`d + 1` for all
+    /// three Section 4 instances).
+    fn combinatorial_dim(&self) -> usize {
+        self.dim() + 1
+    }
+
+    /// VC dimension λ of the set system `(S, R)` (`d + 1` for all three
+    /// Section 4 instances).
+    fn vc_dim(&self) -> usize {
+        self.dim() + 1
+    }
+
+    /// Bits needed to transmit one constraint — the `bit(S)` of
+    /// Theorems 1–3.
+    fn constraint_bits(&self) -> u64 {
+        64 * (self.dim() as u64 + 1)
+    }
+
+    /// Bits needed to transmit or store one canonical solution (a basis
+    /// representative): `d + 1` coefficients by default, matching the
+    /// `O(ν)·bit(S)` basis cost in Theorem 1.
+    fn solution_bits(&self) -> u64 {
+        64 * (self.dim() as u64 + 1)
+    }
+
+    /// Computes the canonical optimum `f(A)` of a constraint subset.
+    ///
+    /// This is the `T_b` basis-computation primitive; its cost for each
+    /// instance is given by Propositions 4.1–4.3.
+    fn solve_subset(
+        &self,
+        subset: &[Self::Constraint],
+        rng: &mut dyn RngCore,
+    ) -> Result<Self::Solution, SolveError>;
+
+    /// The violation test: `f(B ∪ {c}) > f(B)`, which by Property (P2)
+    /// reduces to "the canonical solution of `B` does not satisfy `c`".
+    /// This is the `T_v` primitive — O(d) per constraint.
+    fn violates(&self, solution: &Self::Solution, constraint: &Self::Constraint) -> bool;
+
+    /// Objective value of a solution, used only for reporting/validation
+    /// (radius for MEB, ‖u‖² for SVM, c·x for LP).
+    fn objective_value(&self, solution: &Self::Solution) -> f64;
+}
+
+/// Counts the constraints violating a solution — shared helper for tests
+/// and validation (the production paths fold violation checks into their
+/// passes).
+pub fn count_violations<P: LpTypeProblem>(
+    problem: &P,
+    solution: &P::Solution,
+    constraints: &[P::Constraint],
+) -> usize {
+    constraints.iter().filter(|c| problem.violates(solution, c)).count()
+}

@@ -1,0 +1,209 @@
+//! Halfspaces `a·x ≤ b` and the predicates on them.
+
+use llp_num::float::{approx_eq, DEFAULT_EPS};
+use llp_num::linalg::dot;
+use serde::{Deserialize, Serialize};
+
+/// A point in `R^d`, stored densely.
+pub type Point = Vec<f64>;
+
+/// The closed halfspace `{ x ∈ R^d : a·x ≤ b }`.
+///
+/// This is both a geometric object and "one LP constraint"; the paper's set
+/// `S_X ⊆ R` of Property (P1) is exactly the point set of this halfspace.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Halfspace {
+    /// Constraint normal `a` (the coefficients `a^j_i` of Eq. (5)).
+    pub a: Vec<f64>,
+    /// Right-hand side `b^j`.
+    pub b: f64,
+}
+
+impl Halfspace {
+    /// Builds `a·x ≤ b`.
+    ///
+    /// # Panics
+    /// Panics if `a` is empty or contains non-finite entries.
+    pub fn new(a: Vec<f64>, b: f64) -> Self {
+        assert!(!a.is_empty(), "halfspace in zero dimensions");
+        assert!(a.iter().all(|v| v.is_finite()) && b.is_finite(), "non-finite halfspace");
+        Halfspace { a, b }
+    }
+
+    /// Dimension of the ambient space.
+    pub fn dim(&self) -> usize {
+        self.a.len()
+    }
+
+    /// Signed slack `b - a·x`: non-negative iff `x` satisfies the
+    /// constraint, and the magnitude is the (scaled) distance to the
+    /// boundary.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.dim()`.
+    #[inline]
+    pub fn slack(&self, x: &[f64]) -> f64 {
+        self.b - dot(&self.a, x)
+    }
+
+    /// True iff `x` satisfies the constraint up to the default relative
+    /// tolerance.
+    #[inline]
+    pub fn contains(&self, x: &[f64]) -> bool {
+        self.contains_eps(x, DEFAULT_EPS)
+    }
+
+    /// True iff `x` satisfies the constraint up to relative tolerance
+    /// `eps` (scaled by the magnitudes of `a·x` and `b`).
+    #[inline]
+    pub fn contains_eps(&self, x: &[f64], eps: f64) -> bool {
+        let ax = dot(&self.a, x);
+        ax <= self.b + eps * ax.abs().max(self.b.abs()).max(1.0)
+    }
+
+    /// True iff `x` lies on the boundary hyperplane `a·x = b` up to
+    /// tolerance.
+    pub fn is_tight(&self, x: &[f64], eps: f64) -> bool {
+        approx_eq(dot(&self.a, x), self.b, eps)
+    }
+
+    /// Number of bits a serialized constraint occupies: `d + 1` coefficients
+    /// at 64 bits each. This is the `bit(S)` of Theorems 1–3 and is what
+    /// the communication meters charge per constraint.
+    pub fn bit_size(&self) -> u64 {
+        64 * (self.dim() as u64 + 1)
+    }
+
+    /// Eliminates variable `var` using the boundary equality `a·x = b` of
+    /// `self`, rewriting a *different* constraint `other` into `d-1`
+    /// dimensions.
+    ///
+    /// Given `self.a[var] != 0`, the boundary gives
+    /// `x_var = (b - Σ_{i≠var} a_i x_i) / a_var`; substituting into
+    /// `other.a·x ≤ other.b` yields the returned halfspace over the
+    /// remaining variables, in their original order with `var` removed.
+    ///
+    /// # Panics
+    /// Panics if dimensions mismatch or `self.a[var]` is (numerically) zero.
+    pub fn eliminate_into(&self, other: &Halfspace, var: usize) -> Halfspace {
+        let d = self.dim();
+        assert_eq!(other.dim(), d);
+        assert!(var < d);
+        let pivot = self.a[var];
+        assert!(pivot.abs() > 1e-300, "cannot eliminate on a zero coefficient");
+        let scale = other.a[var] / pivot;
+        let mut a = Vec::with_capacity(d - 1);
+        for i in 0..d {
+            if i == var {
+                continue;
+            }
+            a.push(other.a[i] - scale * self.a[i]);
+        }
+        let b = other.b - scale * self.b;
+        Halfspace { a, b }
+    }
+
+    /// Lifts a point of the eliminated `(d-1)`-dimensional space back onto
+    /// the boundary hyperplane of `self`, restoring coordinate `var`.
+    ///
+    /// # Panics
+    /// Panics if `y.len() + 1 != self.dim()` or the pivot is zero.
+    pub fn lift(&self, y: &[f64], var: usize) -> Point {
+        let d = self.dim();
+        assert_eq!(y.len() + 1, d);
+        let pivot = self.a[var];
+        assert!(pivot.abs() > 1e-300);
+        let mut x = Vec::with_capacity(d);
+        let mut yi = 0;
+        let mut partial = 0.0;
+        for i in 0..d {
+            if i == var {
+                x.push(0.0); // placeholder
+            } else {
+                partial += self.a[i] * y[yi];
+                x.push(y[yi]);
+                yi += 1;
+            }
+        }
+        x[var] = (self.b - partial) / pivot;
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn contains_and_slack() {
+        let h = Halfspace::new(vec![1.0, 1.0], 2.0);
+        assert!(h.contains(&[1.0, 1.0]));
+        assert!(h.contains(&[0.0, 0.0]));
+        assert!(!h.contains(&[2.0, 2.0]));
+        assert_eq!(h.slack(&[0.5, 0.5]), 1.0);
+    }
+
+    #[test]
+    fn tightness() {
+        let h = Halfspace::new(vec![2.0, 0.0], 4.0);
+        assert!(h.is_tight(&[2.0, 123.0], 1e-9));
+        assert!(!h.is_tight(&[1.0, 0.0], 1e-9));
+    }
+
+    #[test]
+    fn bit_size_counts_coefficients() {
+        let h = Halfspace::new(vec![0.0; 3], 1.0);
+        assert_eq!(h.bit_size(), 64 * 4);
+    }
+
+    #[test]
+    fn eliminate_then_lift_roundtrip() {
+        // Plane x0 + 2*x1 + x2 = 4; eliminate x1.
+        let plane = Halfspace::new(vec![1.0, 2.0, 1.0], 4.0);
+        let other = Halfspace::new(vec![3.0, 1.0, -1.0], 5.0);
+        let reduced = other_eliminated(&plane, &other);
+        assert_eq!(reduced.dim(), 2);
+        // A point on the plane: pick y = (x0, x2) = (1, 1) -> x1 = (4-2)/2 = 1.
+        let x = plane.lift(&[1.0, 1.0], 1);
+        assert_eq!(x, vec![1.0, 1.0, 1.0]);
+        // The reduced constraint at y must equal the original at the lifted x.
+        assert!((reduced.slack(&[1.0, 1.0]) - other.slack(&x)).abs() < 1e-12);
+    }
+
+    fn other_eliminated(plane: &Halfspace, other: &Halfspace) -> Halfspace {
+        plane.eliminate_into(other, 1)
+    }
+
+    #[test]
+    #[should_panic(expected = "zero coefficient")]
+    fn eliminate_zero_pivot_panics() {
+        let plane = Halfspace::new(vec![1.0, 0.0], 1.0);
+        let other = Halfspace::new(vec![0.0, 1.0], 1.0);
+        let _ = plane.eliminate_into(&other, 1);
+    }
+
+    proptest! {
+        /// Eliminating a variable and lifting preserves constraint slack:
+        /// for any point y of the reduced space, the reduced slack equals
+        /// the original slack at the lifted point.
+        #[test]
+        fn prop_elimination_preserves_slack(
+            pa in proptest::collection::vec(-5.0f64..5.0, 3),
+            pb in -5.0f64..5.0,
+            oa in proptest::collection::vec(-5.0f64..5.0, 3),
+            ob in -5.0f64..5.0,
+            y in proptest::collection::vec(-5.0f64..5.0, 2),
+            var in 0usize..3,
+        ) {
+            prop_assume!(pa[var].abs() > 0.1);
+            let plane = Halfspace::new(pa, pb);
+            let other = Halfspace::new(oa, ob);
+            let reduced = plane.eliminate_into(&other, var);
+            let x = plane.lift(&y, var);
+            // The lifted point is on the plane.
+            prop_assert!(plane.is_tight(&x, 1e-7));
+            prop_assert!((reduced.slack(&y) - other.slack(&x)).abs() < 1e-6);
+        }
+    }
+}

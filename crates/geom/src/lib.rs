@@ -1,0 +1,13 @@
+//! Geometric primitives for low-dimensional linear programming.
+//!
+//! A *constraint* of the LP in Eq. (5) of the paper is the closed halfspace
+//! `{ x : a·x ≤ b }`; this crate provides the [`Halfspace`] type, the
+//! point-membership and violation predicates used by every solver and by
+//! the violation tests of Propositions 4.1–4.3, and the exact variable
+//! elimination used to restrict an LP to the boundary hyperplane of a
+//! constraint (the recursion step of Seidel's algorithm and of the
+//! lexicographic refinement).
+
+pub mod halfspace;
+
+pub use halfspace::{Halfspace, Point};

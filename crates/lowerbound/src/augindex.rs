@@ -1,0 +1,124 @@
+//! The reduction from Augmented Indexing (Lemma 5.6).
+//!
+//! Alice holds `x ∈ {0,1}^{n-1}`; Bob holds an index `i* ∈ [n-1]` and the
+//! prefix `x_1, …, x_{i*-1}`. They build (with no communication) a TCI
+//! instance whose answer reveals `x_{i*}`:
+//!
+//! * Alice's curve is `StepCurve(x, 0)`, so `a_{j+1} − a_j = j + x_j`.
+//! * Bob's curve is the line of slope `−s` through `(i*, a_{i*} + t)` with
+//!   `t = i* + 1/2 + s` — computable from his prefix alone.
+//!
+//! Then `x_{i*} = 1` makes the curves cross at `i*` and `x_{i*} = 0` at
+//! `i* + 1`, so any TCI protocol solves Aug-Index and inherits its
+//! `Ω(n)` one-round bound. The steepness `s` is a parameter (the hard
+//! distribution `D_r` instantiates it large enough to absorb the
+//! slope-shift operators of Section 5.3.3).
+
+use crate::curves::step_curve;
+use crate::tci::TciInstance;
+use llp_num::Rat;
+
+/// Builds the Lemma 5.6 instance for bit string `x` (length `n − 1`) and
+/// Bob's index `i_star ∈ 1..=x.len()`, with Bob-curve steepness `s > 0`.
+///
+/// # Panics
+/// Panics if `x` is empty, `i_star` is out of range, or `steep ≤ 0`.
+pub fn build_instance(x: &[u8], i_star: usize, steep: Rat) -> TciInstance {
+    assert!(!x.is_empty(), "need at least one bit");
+    assert!((1..=x.len()).contains(&i_star), "i_star out of range");
+    assert!(steep > Rat::ZERO, "steepness must be positive");
+    let a = step_curve(x, Rat::ZERO);
+    let n = a.len();
+    // Bob knows a_{i*} from the prefix x_1..x_{i*-1} (StepCurve is
+    // prefix-determined): a[i_star - 1] only uses bits x_1..x_{i*-1}.
+    let a_star = a[i_star - 1];
+    let t = Rat::from_int(i_star as i128) + Rat::new(1, 2) + steep;
+    let b: Vec<Rat> = (1..=n)
+        .map(|j| a_star + t - steep * Rat::from_int(j as i128 - i_star as i128))
+        .collect();
+    TciInstance::new(a, b)
+}
+
+/// Bob's decoding: the answer index reveals the bit.
+pub fn decode(answer: usize, i_star: usize) -> u8 {
+    u8::from(answer == i_star)
+}
+
+/// A reasonable default steepness for standalone (non-embedded) use.
+pub fn default_steep(n: usize) -> Rat {
+    Rat::from_int(2 * n as i128 + 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exhaustive_small_instances() {
+        // All bit strings of length ≤ 8 and all indices: the reduction
+        // must decode every bit correctly and produce valid instances.
+        for len in 1..=8usize {
+            for bits in 0..(1u32 << len) {
+                let x: Vec<u8> = (0..len).map(|j| ((bits >> j) & 1) as u8).collect();
+                for i_star in 1..=len {
+                    let inst = build_instance(&x, i_star, default_steep(len + 1));
+                    assert_eq!(inst.validate(), Ok(()), "invalid at x={x:?} i*={i_star}");
+                    let ans = inst.answer_scan();
+                    assert_eq!(
+                        decode(ans, i_star),
+                        x[i_star - 1],
+                        "x={x:?} i*={i_star} answer={ans}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn answer_is_i_star_or_next() {
+        let x = vec![1, 0, 1, 1, 0];
+        for i_star in 1..=5 {
+            let inst = build_instance(&x, i_star, default_steep(6));
+            let ans = inst.answer_scan();
+            assert!(ans == i_star || ans == i_star + 1);
+        }
+    }
+
+    #[test]
+    fn bob_curve_is_prefix_computable() {
+        // Changing a bit at or after i* must not change Bob's curve.
+        let x1 = vec![0, 1, 0, 0, 1, 1];
+        let mut x2 = x1.clone();
+        x2[3] = 1; // bit index 4 = i*
+        let i_star = 4;
+        let inst1 = build_instance(&x1, i_star, default_steep(7));
+        let inst2 = build_instance(&x2, i_star, default_steep(7));
+        assert_eq!(inst1.b, inst2.b, "Bob's curve must only depend on the prefix");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_reduction_correct(
+            x in proptest::collection::vec(0u8..2, 1..64),
+            idx in 0usize..64,
+        ) {
+            let i_star = idx % x.len() + 1;
+            let inst = build_instance(&x, i_star, default_steep(x.len() + 1));
+            prop_assert_eq!(inst.validate(), Ok(()));
+            let ans = inst.answer_scan();
+            prop_assert_eq!(decode(ans, i_star), x[i_star - 1]);
+        }
+
+        #[test]
+        fn prop_steeper_bob_still_correct(
+            x in proptest::collection::vec(0u8..2, 1..32),
+            steep_scale in 1i128..1_000_000,
+        ) {
+            let i_star = 1 + x.len() / 2;
+            let inst = build_instance(&x, i_star, Rat::from_int(steep_scale * 64));
+            prop_assert_eq!(inst.validate(), Ok(()));
+            prop_assert_eq!(decode(inst.answer_scan(), i_star), x[i_star - 1]);
+        }
+    }
+}

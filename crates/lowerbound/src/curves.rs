@@ -1,0 +1,95 @@
+//! `LineSegment` and `StepCurve` (Section 5.2, Fact 5.5).
+
+use llp_num::Rat;
+
+/// `LineSegment(p1, p2, a, b)`: the values `z_a, …, z_b` of the unique
+/// line through `p1` and `p2`, evaluated at integer abscissas `a..=b`
+/// (Fact 5.5).
+///
+/// # Panics
+/// Panics if `p1.x == p2.x` or `a > b`.
+pub fn line_segment(p1: (Rat, Rat), p2: (Rat, Rat), a: i64, b: i64) -> Vec<Rat> {
+    assert!(p1.0 != p2.0, "vertical line has no y = f(x) form");
+    assert!(a <= b);
+    let slope = (p2.1 - p1.1) / (p2.0 - p1.0);
+    (a..=b)
+        .map(|i| slope * (Rat::from_int(i as i128) - p1.0) + p1.1)
+        .collect()
+}
+
+/// `StepCurve(X, α)`: the `m + 1` values `z_0, …, z_m` with `z_0 = 0` and
+/// `z_i = z_{i-1} + α + i + x_i` (Section 5.2).
+///
+/// # Panics
+/// Panics if any entry of `x` is not a bit.
+pub fn step_curve(x: &[u8], alpha: Rat) -> Vec<Rat> {
+    let mut out = Vec::with_capacity(x.len() + 1);
+    out.push(Rat::ZERO);
+    for (i, &xi) in x.iter().enumerate() {
+        assert!(xi <= 1, "step curve takes bits");
+        let prev = *out.last().expect("non-empty");
+        out.push(prev + alpha + Rat::from_int(i as i128 + 1) + Rat::from_int(i128::from(xi)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ri(v: i128) -> Rat {
+        Rat::from_int(v)
+    }
+
+    #[test]
+    fn line_segment_endpoints() {
+        let z = line_segment((ri(1), ri(10)), (ri(5), ri(2)), 1, 5);
+        assert_eq!(z[0], ri(10));
+        assert_eq!(z[4], ri(2));
+        // slope -2: 10, 8, 6, 4, 2.
+        assert_eq!(z, vec![ri(10), ri(8), ri(6), ri(4), ri(2)]);
+    }
+
+    #[test]
+    fn line_segment_fact_5_5_increments() {
+        let p1 = (ri(0), ri(3));
+        let p2 = (ri(4), ri(11)); // slope 2
+        let z = line_segment(p1, p2, -2, 6);
+        for w in z.windows(2) {
+            assert_eq!(w[1] - w[0], ri(2));
+        }
+    }
+
+    #[test]
+    fn step_curve_values() {
+        // x = [1, 0, 1], α = 0: z = 0, 0+1+1=2, 2+2+0=4, 4+3+1=8.
+        let z = step_curve(&[1, 0, 1], Rat::ZERO);
+        assert_eq!(z, vec![ri(0), ri(2), ri(4), ri(8)]);
+    }
+
+    #[test]
+    fn step_curve_is_increasing_and_convex() {
+        let z = step_curve(&[0, 1, 1, 0, 1, 0, 0, 1], ri(3));
+        for w in z.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        for w in z.windows(3) {
+            // increments non-decreasing: z1-z0 ≤ z2-z1
+            assert!(w[1] - w[0] <= w[2] - w[1]);
+        }
+    }
+
+    #[test]
+    fn step_curve_alpha_adds_per_step() {
+        let z0 = step_curve(&[0, 0], Rat::ZERO);
+        let z5 = step_curve(&[0, 0], ri(5));
+        assert_eq!(z5[1] - z0[1], ri(5));
+        assert_eq!(z5[2] - z0[2], ri(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "bits")]
+    fn step_curve_rejects_non_bits() {
+        let _ = step_curve(&[2], Rat::ZERO);
+    }
+}

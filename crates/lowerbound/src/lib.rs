@@ -1,0 +1,34 @@
+//! Section 5 of the paper: lower-bound constructions for 2-dimensional
+//! linear programming.
+//!
+//! The paper proves `CC_r(TCI_n) = Ω(n^{1/r}/r²)` for the two-curve
+//! intersection problem and transfers it to streaming (Theorem 9) and
+//! coordinator (Theorem 10) linear programming. A lower bound cannot be
+//! "run", so this crate reproduces its *constructions* and measures the
+//! matching upper bound:
+//!
+//! * [`tci`] — the TCI problem: validity checking (monotonicity +
+//!   convexity promises) and the `O(n)` ground-truth scan.
+//! * [`curves`] — `LineSegment` and `StepCurve` (Section 5.2), exact
+//!   rationals.
+//! * [`augindex`] — the Lemma 5.6 reduction from Augmented Indexing,
+//!   whose `Ω(n)` one-round bound seeds the induction.
+//! * [`hard`] — the recursive hard distribution `D_r` (Section 5.3.3):
+//!   `N` sub-instances of `D_{r-1}` embedded with slope-shift and
+//!   origin-shift operators so that the global answer equals the special
+//!   sub-instance's answer (Propositions 5.7–5.10).
+//! * [`protocol`] — communication protocols for TCI: the trivial 1-round
+//!   protocol and the `r`-round `n^{1/r}`-ary search achieving
+//!   `O(r·n^{1/r}·log n)` bits, which exhibits the `n^{1/r}` scaling on
+//!   the upper side of the paper's gap (experiments F2/T12).
+//! * [`reduction`] — Figure 1b: TCI as a 2-dimensional LP, solved with
+//!   the exact rational LP solver and rounded back to the crossing index.
+
+pub mod augindex;
+pub mod curves;
+pub mod hard;
+pub mod protocol;
+pub mod reduction;
+pub mod tci;
+
+pub use tci::TciInstance;

@@ -1,0 +1,138 @@
+//! TCI as a 2-dimensional linear program (Figure 1b).
+//!
+//! Every curve segment extends to a full line and becomes one LP
+//! constraint. Alice's curve is piecewise-linear *convex*, so "above all
+//! of Alice's lines" is exactly "above Alice's curve"; Bob's curve has
+//! non-increasing steps (piecewise-linear *concave*), so "below all of
+//! Bob's lines" is exactly "below Bob's curve". The feasible region is
+//! therefore the set between the curves — nonempty precisely for
+//! `x ≤` the fractional crossing point — and pushing the optimum to its
+//! right tip (maximizing `x`) lands on the crossing; rounding `⌊x*⌋` gives
+//! the TCI answer. This is the reduction that transfers the communication
+//! lower bound to 2-D linear programming (Corollary 8).
+
+use crate::tci::TciInstance;
+use llp_num::Rat;
+use llp_solver::exact2d::{self, Exact2dResult, RatHalfplane};
+use rand::Rng;
+
+/// Builds the 2-D LP constraints of the instance: for each consecutive
+/// pair `(i, v_i), (i+1, v_{i+1})` on Alice's curve the halfplane
+/// `y ≥ slope·(x − i) + v_i`, and on Bob's curve the halfplane
+/// `y ≤ slope·(x − i) + v_i`.
+pub fn constraints(inst: &TciInstance) -> Vec<RatHalfplane> {
+    let mut out = Vec::with_capacity(2 * (inst.len().saturating_sub(1)));
+    for (i, w) in inst.a.windows(2).enumerate() {
+        let x0 = Rat::from_int(i as i128 + 1);
+        let slope = w[1] - w[0];
+        // y ≥ slope·(x − x0) + w0  ⟺  slope·x − y ≤ slope·x0 − w0.
+        out.push(RatHalfplane::new(slope, -Rat::ONE, slope * x0 - w[0]));
+    }
+    for (i, w) in inst.b.windows(2).enumerate() {
+        let x0 = Rat::from_int(i as i128 + 1);
+        let slope = w[1] - w[0];
+        // y ≤ slope·(x − x0) + w0  ⟺  −slope·x + y ≤ w0 − slope·x0.
+        out.push(RatHalfplane::new(-slope, Rat::ONE, w[0] - slope * x0));
+    }
+    out
+}
+
+/// Solves the LP (max `x`, i.e. min `−x`) exactly and recovers the TCI
+/// answer as `⌊x*⌋`.
+///
+/// # Panics
+/// Panics if the instance has fewer than 2 points or the LP solve fails
+/// (which the TCI promise rules out).
+pub fn answer_via_lp<R: Rng + ?Sized>(inst: &TciInstance, rng: &mut R) -> usize {
+    assert!(inst.len() >= 2, "need at least two points");
+    let cs = constraints(inst);
+    // Box big enough for any value in the instance: max |value| + slack.
+    let mut big = Rat::from_int(2 * inst.len() as i128 + 4);
+    for v in inst.a.iter().chain(inst.b.iter()) {
+        let m = v.abs() + v.abs() + Rat::from_int(16);
+        if m > big {
+            big = m;
+        }
+    }
+    match exact2d::solve(&cs, (-Rat::ONE, Rat::ZERO), big, rng) {
+        Exact2dResult::Optimal(x, _y) => {
+            let floor = x.floor();
+            // The crossing lies in [i*, i*+1); clamp defensively to the
+            // valid index range.
+            (floor.clamp(1, inst.len() as i128)) as usize
+        }
+        other => panic!("TCI-LP must be feasible and bounded, got {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::augindex;
+    use crate::hard::{sample, HardParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ri(v: i128) -> Rat {
+        Rat::from_int(v)
+    }
+
+    #[test]
+    fn figure_1_instance() {
+        let a = vec![ri(0), ri(1), ri(3), ri(6), ri(10), ri(15), ri(21)];
+        let b = vec![ri(20), ri(18), ri(15), ri(11), ri(6), ri(0), ri(-7)];
+        let inst = TciInstance::new(a, b);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(answer_via_lp(&inst, &mut rng), inst.answer_scan());
+    }
+
+    #[test]
+    fn constraint_count() {
+        let a = vec![ri(0), ri(1), ri(3)];
+        let b = vec![ri(9), ri(5), ri(0)];
+        let inst = TciInstance::new(a, b);
+        assert_eq!(constraints(&inst).len(), 4);
+    }
+
+    #[test]
+    fn matches_scan_on_augindex_instances() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for n in [8usize, 32, 128] {
+            for seed in 0..5u64 {
+                use rand::Rng as _;
+                let mut g = StdRng::seed_from_u64(seed);
+                let x: Vec<u8> = (0..n - 1).map(|_| u8::from(g.random_bool(0.5))).collect();
+                let i_star = g.random_range(1..n);
+                let inst = augindex::build_instance(&x, i_star, augindex::default_steep(n));
+                assert_eq!(
+                    answer_via_lp(&inst, &mut rng),
+                    inst.answer_scan(),
+                    "n={n} seed={seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_scan_on_hard_distribution() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for (n_base, rounds) in [(8usize, 1u32), (6, 2)] {
+            let params = HardParams { n_base, rounds };
+            for _ in 0..5 {
+                let h = sample(&params, &mut rng);
+                assert_eq!(answer_via_lp(&h.inst, &mut rng), h.expected_answer);
+            }
+        }
+    }
+
+    #[test]
+    fn crossing_exactly_at_integer() {
+        // a and b equal at index 2: answer 2 (a_2 ≤ b_2, a_3 > b_3).
+        let a = vec![ri(0), ri(5), ri(11)];
+        let b = vec![ri(9), ri(5), ri(0)];
+        let inst = TciInstance::new(a, b);
+        assert_eq!(inst.answer_scan(), 2);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(answer_via_lp(&inst, &mut rng), 2);
+    }
+}

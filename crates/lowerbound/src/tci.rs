@@ -1,0 +1,247 @@
+//! The two-curve intersection problem (Section 5.2).
+//!
+//! Alice holds an increasing convex sequence `A`, Bob a decreasing
+//! sequence `B` with non-increasing steps; under the promise `a_1 ≤ b_1`
+//! the goal is the largest index `i` with `a_i ≤ b_i` (equivalently the
+//! smallest `i` with `a_i ≤ b_i` and `a_{i+1} > b_{i+1}`, reading
+//! `a_{n+1} = +∞`). Since `A` is strictly below `B` then strictly above,
+//! and `a_i − b_i` is strictly increasing, the answer is unique.
+
+use llp_num::Rat;
+
+/// A TCI instance: Alice's curve `a` and Bob's curve `b`, both indexed
+/// `1..=n` (stored 0-based).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TciInstance {
+    /// Alice's values `a_1..a_n` (monotonically increasing, convex).
+    pub a: Vec<Rat>,
+    /// Bob's values `b_1..b_n` (monotonically decreasing, steps
+    /// non-increasing).
+    pub b: Vec<Rat>,
+}
+
+/// Why an instance fails validation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TciError {
+    /// Curves have different or zero lengths.
+    BadShape,
+    /// `A` is not monotonically increasing at the given index.
+    ANotIncreasing(usize),
+    /// `A` violates convexity (`a_i − a_{i-1} ≤ a_{i+1} − a_i`) at the
+    /// given index.
+    ANotConvex(usize),
+    /// `B` is not monotonically decreasing at the given index.
+    BNotDecreasing(usize),
+    /// `B` violates its step condition (`b_i − b_{i-1} ≥ b_{i+1} − b_i`)
+    /// at the given index.
+    BNotConcave(usize),
+    /// The promise `a_1 ≤ b_1` fails (no crossing exists).
+    NoCrossing,
+}
+
+impl TciInstance {
+    /// Builds an instance without validation (use [`validate`](Self::validate)).
+    pub fn new(a: Vec<Rat>, b: Vec<Rat>) -> Self {
+        TciInstance { a, b }
+    }
+
+    /// Number of points `n`.
+    pub fn len(&self) -> usize {
+        self.a.len()
+    }
+
+    /// True iff the instance is empty.
+    pub fn is_empty(&self) -> bool {
+        self.a.is_empty()
+    }
+
+    /// Checks the monotonicity and convexity promises of Section 5.2 plus
+    /// the crossing promise.
+    pub fn validate(&self) -> Result<(), TciError> {
+        let n = self.a.len();
+        if n == 0 || self.b.len() != n {
+            return Err(TciError::BadShape);
+        }
+        for i in 1..n {
+            if self.a[i] <= self.a[i - 1] {
+                return Err(TciError::ANotIncreasing(i));
+            }
+            if self.b[i] >= self.b[i - 1] {
+                return Err(TciError::BNotDecreasing(i));
+            }
+        }
+        for i in 1..n - 1 {
+            // A: a_i − a_{i−1} ≤ a_{i+1} − a_i.
+            if self.a[i] - self.a[i - 1] > self.a[i + 1] - self.a[i] {
+                return Err(TciError::ANotConvex(i));
+            }
+            // B: b_i − b_{i−1} ≥ b_{i+1} − b_i.
+            if self.b[i] - self.b[i - 1] < self.b[i + 1] - self.b[i] {
+                return Err(TciError::BNotConcave(i));
+            }
+        }
+        if self.a[0] > self.b[0] {
+            return Err(TciError::NoCrossing);
+        }
+        Ok(())
+    }
+
+    /// Ground truth: the largest 1-based index `i` with `a_i ≤ b_i`, by
+    /// linear scan. `a − b` is increasing, so this equals the promised
+    /// crossing index.
+    ///
+    /// # Panics
+    /// Panics if the promise `a_1 ≤ b_1` fails.
+    pub fn answer_scan(&self) -> usize {
+        assert!(self.a[0] <= self.b[0], "promise violated: curves never cross");
+        let mut ans = 1;
+        for i in 1..self.a.len() {
+            if self.a[i] <= self.b[i] {
+                ans = i + 1;
+            }
+        }
+        ans
+    }
+
+    /// Same answer by binary search on the increasing difference `a − b`
+    /// (used to cross-check the scan and as the local step of the
+    /// protocols).
+    pub fn answer_binary_search(&self) -> usize {
+        assert!(self.a[0] <= self.b[0], "promise violated");
+        // partition_point over "a_i ≤ b_i".
+        let n = self.a.len();
+        let mut lo = 0usize; // invariant: a[lo] ≤ b[lo]
+        let mut hi = n; // first index known (or assumed) to flip
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if self.a[mid] <= self.b[mid] {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo + 1
+    }
+
+    /// Largest absolute slope (increment) over both curves — the quantity
+    /// the paper bounds by `N^{O(r)}` in Section 5.3.5.
+    pub fn max_abs_slope(&self) -> Rat {
+        let mut best = Rat::ZERO;
+        for w in self.a.windows(2) {
+            let s = (w[1] - w[0]).abs();
+            if s > best {
+                best = s;
+            }
+        }
+        for w in self.b.windows(2) {
+            let s = (w[1] - w[0]).abs();
+            if s > best {
+                best = s;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ri(v: i128) -> Rat {
+        Rat::from_int(v)
+    }
+
+    fn figure_1a_like() -> TciInstance {
+        // A mirrors Figure 1a: crossing at index 4.
+        let a = vec![ri(0), ri(1), ri(3), ri(6), ri(10), ri(15), ri(21)];
+        let b = vec![ri(20), ri(18), ri(15), ri(11), ri(6), ri(0), ri(-7)];
+        TciInstance::new(a, b)
+    }
+
+    #[test]
+    fn valid_instance_passes() {
+        assert_eq!(figure_1a_like().validate(), Ok(()));
+    }
+
+    #[test]
+    fn answer_matches_figure() {
+        let inst = figure_1a_like();
+        // a_4 = 6 ≤ b_4 = 8 but a_5 = 10 > b_5 = 4.
+        assert_eq!(inst.answer_scan(), 4);
+        assert_eq!(inst.answer_binary_search(), 4);
+    }
+
+    #[test]
+    fn crossing_at_first_index() {
+        let a = vec![ri(0), ri(10)];
+        let b = vec![ri(1), ri(-10)];
+        let inst = TciInstance::new(a, b);
+        assert_eq!(inst.validate(), Ok(()));
+        assert_eq!(inst.answer_scan(), 1);
+    }
+
+    #[test]
+    fn crossing_at_last_index_when_curves_never_flip() {
+        let a = vec![ri(0), ri(1), ri(2)];
+        let b = vec![ri(10), ri(9), ri(8)];
+        let inst = TciInstance::new(a, b);
+        assert_eq!(inst.answer_scan(), 3);
+        assert_eq!(inst.answer_binary_search(), 3);
+    }
+
+    #[test]
+    fn validation_catches_violations() {
+        let good = figure_1a_like();
+        let mut bad = good.clone();
+        bad.a[2] = ri(-5);
+        assert!(matches!(bad.validate(), Err(TciError::ANotIncreasing(_))));
+
+        let mut bad = good.clone();
+        bad.a[2] = ri(2);
+        // increments: 1, 1, 4 ... convex ok; make a concave kink instead:
+        bad.a = vec![ri(0), ri(5), ri(6), ri(7), ri(10), ri(15), ri(21)];
+        assert!(matches!(bad.validate(), Err(TciError::ANotConvex(_))));
+
+        let mut bad = good.clone();
+        bad.b[3] = ri(16);
+        assert!(matches!(bad.validate(), Err(TciError::BNotDecreasing(_))));
+
+        let mut bad = good.clone();
+        bad.b = vec![ri(20), ri(10), ri(5), ri(3), ri(2), ri(1), ri(0)];
+        // steps: -10,-5,-2,-1,-1,-1 increasing => violates non-increasing.
+        assert!(matches!(bad.validate(), Err(TciError::BNotConcave(_))));
+
+        let mut bad = good;
+        bad.a[0] = ri(100);
+        // also breaks monotonicity; craft a clean no-crossing case:
+        bad.a = vec![ri(100), ri(101), ri(103), ri(106), ri(110), ri(115), ri(121)];
+        assert_eq!(bad.validate(), Err(TciError::NoCrossing));
+    }
+
+    #[test]
+    fn scan_and_binary_search_agree_on_random_instances() {
+        use rand::{Rng, SeedableRng};
+        let mut r = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let n = r.random_range(2..200usize);
+            // A: increments grow; B: steps shrink (both valid).
+            let mut a = vec![ri(0)];
+            let mut inc = ri(1);
+            for _ in 1..n {
+                let last = *a.last().unwrap();
+                a.push(last + inc);
+                inc = inc + ri(r.random_range(0..3));
+            }
+            let mut b = vec![ri(r.random_range(0..(4 * n as i128)))];
+            let mut step = ri(-1);
+            for _ in 1..n {
+                let last = *b.last().unwrap();
+                b.push(last + step);
+                step = step - ri(r.random_range(0..3));
+            }
+            let inst = TciInstance::new(a, b);
+            assert_eq!(inst.validate(), Ok(()), "generator produced invalid instance");
+            assert_eq!(inst.answer_scan(), inst.answer_binary_search());
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Wire/memory size accounting.
+//!
+//! Everything the simulators meter flows through [`BitCost`]: the number
+//! of bits a value occupies when transmitted or stored. The paper counts
+//! a constraint as `bit(S)` bits (we use 64 bits per coefficient) and
+//! weight totals as `O(ℓ/r · log n)`-bit integers (we charge the actual
+//! encoded size of the mantissa+exponent pair).
+
+use llp_geom::Halfspace;
+
+/// Number of bits a value occupies on the wire.
+pub trait BitCost {
+    /// Size in bits.
+    fn bits(&self) -> u64;
+}
+
+impl BitCost for u8 {
+    fn bits(&self) -> u64 {
+        8
+    }
+}
+
+impl BitCost for u32 {
+    fn bits(&self) -> u64 {
+        32
+    }
+}
+
+impl BitCost for u64 {
+    fn bits(&self) -> u64 {
+        64
+    }
+}
+
+impl BitCost for usize {
+    fn bits(&self) -> u64 {
+        64
+    }
+}
+
+impl BitCost for i64 {
+    fn bits(&self) -> u64 {
+        64
+    }
+}
+
+impl BitCost for f64 {
+    fn bits(&self) -> u64 {
+        64
+    }
+}
+
+impl<T: BitCost> BitCost for Vec<T> {
+    fn bits(&self) -> u64 {
+        self.iter().map(BitCost::bits).sum()
+    }
+}
+
+impl<T: BitCost> BitCost for [T] {
+    fn bits(&self) -> u64 {
+        self.iter().map(BitCost::bits).sum()
+    }
+}
+
+impl<T: BitCost> BitCost for &T {
+    fn bits(&self) -> u64 {
+        (*self).bits()
+    }
+}
+
+impl<A: BitCost, B: BitCost> BitCost for (A, B) {
+    fn bits(&self) -> u64 {
+        self.0.bits() + self.1.bits()
+    }
+}
+
+impl BitCost for Halfspace {
+    fn bits(&self) -> u64 {
+        self.bit_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives() {
+        assert_eq!(1u32.bits(), 32);
+        assert_eq!(1.5f64.bits(), 64);
+    }
+
+    #[test]
+    fn containers_sum() {
+        let v = vec![1.0f64, 2.0, 3.0];
+        assert_eq!(v.bits(), 192);
+        assert_eq!((1u32, 2.0f64).bits(), 96);
+    }
+
+    #[test]
+    fn halfspace_matches_bit_size() {
+        let h = Halfspace::new(vec![1.0, 2.0], 3.0);
+        assert_eq!(h.bits(), 64 * 3);
+    }
+}

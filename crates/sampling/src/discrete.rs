@@ -1,0 +1,240 @@
+//! Exact binomial and multinomial sampling.
+//!
+//! Lemma 3.7: the coordinator draws `m` i.i.d. site indices from the
+//! site-weight distribution and sends each site only its *count* `y_i`.
+//! Drawing the counts directly is a multinomial sample, realized by
+//! sequential conditional binomials. The binomial sampler uses inverse
+//! transform from the mode (exact to floating-point rounding) — `n·p` in
+//! our use is at most the net size, so the scan around the mode is short
+//! with overwhelming probability.
+
+use rand::Rng;
+
+/// `ln(k!)` via a lookup table for small `k` and the Stirling series
+/// beyond. Accurate to ~1e-10 relative, ample for inverse-transform
+/// sampling.
+pub fn ln_factorial(k: u64) -> f64 {
+    const TABLE_SIZE: usize = 256;
+    // Lazily built static table of exact ln(k!) for k < 256.
+    static TABLE: std::sync::OnceLock<[f64; TABLE_SIZE]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0.0f64; TABLE_SIZE];
+        for i in 2..TABLE_SIZE {
+            t[i] = t[i - 1] + (i as f64).ln();
+        }
+        t
+    });
+    if (k as usize) < TABLE_SIZE {
+        return table[k as usize];
+    }
+    // Stirling: ln k! ≈ k ln k − k + 0.5 ln(2πk) + 1/(12k) − 1/(360k³).
+    let kf = k as f64;
+    kf * kf.ln() - kf + 0.5 * (2.0 * std::f64::consts::PI * kf).ln() + 1.0 / (12.0 * kf)
+        - 1.0 / (360.0 * kf * kf * kf)
+}
+
+/// `ln C(n, k)` for `0 ≤ k ≤ n`.
+fn ln_choose(n: u64, k: u64) -> f64 {
+    debug_assert!(k <= n);
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// Draws `X ~ Binomial(n, p)` by inverse transform from the mode.
+///
+/// # Panics
+/// Panics unless `p ∈ [0, 1]`.
+pub fn binomial<R: Rng + ?Sized>(n: u64, p: f64, rng: &mut R) -> u64 {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+    if n == 0 || p == 0.0 {
+        return 0;
+    }
+    if p == 1.0 {
+        return n;
+    }
+    if n <= 32 {
+        // Direct Bernoulli summation is fastest and exact.
+        let mut x = 0;
+        for _ in 0..n {
+            if rng.random_range(0.0..1.0) < p {
+                x += 1;
+            }
+        }
+        return x;
+    }
+    // pmf(k) = C(n,k) p^k (1-p)^(n-k), evaluated in log space. Scan
+    // outward from the mode; the probability mass within O(√(np(1-p)))
+    // of the mode is 1 − tiny, so the expected scan length is short.
+    let mode = ((n as f64 + 1.0) * p).floor().min(n as f64) as u64;
+    let lp = p.ln();
+    let lq = (1.0 - p).ln();
+    let pmf = |k: u64| -> f64 { (ln_choose(n, k) + k as f64 * lp + (n - k) as f64 * lq).exp() };
+    let u = rng.random_range(0.0..1.0f64);
+    let mut acc = pmf(mode);
+    if u < acc {
+        return mode;
+    }
+    let mut lo = mode;
+    let mut hi = mode;
+    loop {
+        // Alternate extending below and above the mode.
+        let mut advanced = false;
+        if hi < n {
+            hi += 1;
+            acc += pmf(hi);
+            if u < acc {
+                return hi;
+            }
+            advanced = true;
+        }
+        if lo > 0 {
+            lo -= 1;
+            acc += pmf(lo);
+            if u < acc {
+                return lo;
+            }
+            advanced = true;
+        }
+        if !advanced {
+            // Numeric residue: the whole support is covered; return mode.
+            return mode;
+        }
+    }
+}
+
+/// Draws a multinomial sample: `m` balls into bins with the given
+/// (unnormalized, non-negative) weights. Returns per-bin counts summing to
+/// `m`.
+///
+/// # Panics
+/// Panics if weights are empty, negative, non-finite, or all zero.
+pub fn multinomial<R: Rng + ?Sized>(m: u64, weights: &[f64], rng: &mut R) -> Vec<u64> {
+    assert!(!weights.is_empty(), "multinomial over zero bins");
+    let mut total: f64 = 0.0;
+    for &w in weights {
+        assert!(w.is_finite() && w >= 0.0, "bad weight {w}");
+        total += w;
+    }
+    assert!(total > 0.0, "total weight must be positive");
+    let mut counts = vec![0u64; weights.len()];
+    let mut remaining = m;
+    let mut rest = total;
+    for (i, &w) in weights.iter().enumerate() {
+        if remaining == 0 {
+            break;
+        }
+        if i == weights.len() - 1 {
+            counts[i] = remaining;
+            break;
+        }
+        let p = if rest > 0.0 { (w / rest).clamp(0.0, 1.0) } else { 0.0 };
+        let x = binomial(remaining, p, rng);
+        counts[i] = x;
+        remaining -= x;
+        rest -= w;
+        if rest <= 0.0 {
+            // All residual mass consumed; any remaining balls stay 0 —
+            // only possible through floating-point cancellation with
+            // remaining == 0.
+            break;
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(13)
+    }
+
+    #[test]
+    fn ln_factorial_small_exact() {
+        assert_eq!(ln_factorial(0), 0.0);
+        assert_eq!(ln_factorial(1), 0.0);
+        assert!((ln_factorial(5) - 120f64.ln()).abs() < 1e-12);
+        assert!((ln_factorial(20) - 2432902008176640000f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ln_factorial_stirling_continuous_at_table_edge() {
+        // Table value at 255 and Stirling at 256 must agree via the
+        // recurrence ln(256!) = ln(255!) + ln 256.
+        let a = ln_factorial(255) + 256f64.ln();
+        let b = ln_factorial(256);
+        assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+    }
+
+    #[test]
+    fn binomial_edge_cases() {
+        let mut r = rng();
+        assert_eq!(binomial(0, 0.5, &mut r), 0);
+        assert_eq!(binomial(10, 0.0, &mut r), 0);
+        assert_eq!(binomial(10, 1.0, &mut r), 10);
+    }
+
+    #[test]
+    fn binomial_mean_and_variance() {
+        let mut r = rng();
+        let (n, p) = (1000u64, 0.3);
+        let trials = 3000;
+        let samples: Vec<f64> = (0..trials).map(|_| binomial(n, p, &mut r) as f64).collect();
+        let mean = samples.iter().sum::<f64>() / trials as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / trials as f64;
+        let (em, ev) = (n as f64 * p, n as f64 * p * (1.0 - p));
+        assert!((mean - em).abs() < 0.02 * em, "mean {mean} vs {em}");
+        assert!((var - ev).abs() < 0.15 * ev, "var {var} vs {ev}");
+    }
+
+    #[test]
+    fn binomial_small_n_exact_path() {
+        let mut r = rng();
+        let trials = 20_000;
+        let mut sum = 0u64;
+        for _ in 0..trials {
+            sum += binomial(10, 0.5, &mut r);
+        }
+        let mean = sum as f64 / trials as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn multinomial_counts_sum_to_m() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let counts = multinomial(1000, &[1.0, 2.0, 3.0, 0.0, 4.0], &mut r);
+            assert_eq!(counts.iter().sum::<u64>(), 1000);
+            assert_eq!(counts[3], 0, "zero-weight bin got balls");
+        }
+    }
+
+    #[test]
+    fn multinomial_proportions() {
+        let mut r = rng();
+        let mut totals = [0u64; 3];
+        for _ in 0..200 {
+            let counts = multinomial(1000, &[1.0, 1.0, 2.0], &mut r);
+            for i in 0..3 {
+                totals[i] += counts[i];
+            }
+        }
+        let grand: u64 = totals.iter().sum();
+        let frac2 = totals[2] as f64 / grand as f64;
+        assert!((frac2 - 0.5).abs() < 0.02, "heavy bin fraction {frac2}");
+    }
+
+    #[test]
+    fn multinomial_single_bin() {
+        let mut r = rng();
+        assert_eq!(multinomial(42, &[3.0], &mut r), vec![42]);
+    }
+
+    #[test]
+    #[should_panic(expected = "total weight must be positive")]
+    fn multinomial_rejects_all_zero() {
+        let _ = multinomial(5, &[0.0, 0.0], &mut rng());
+    }
+}

@@ -1,0 +1,22 @@
+//! Sampling machinery for the ε-net Clarkson meta-algorithm.
+//!
+//! Algorithm 1 of the paper samples, each iteration, a family `N` of
+//! `m_{ε,λ,δ}` elements i.i.d. with probability proportional to their
+//! weights (Lemma 2.2). The three computation models need three different
+//! realizations of that primitive:
+//!
+//! * RAM / per-site: [`weighted::sample_iid`] — prefix sums + binary
+//!   search.
+//! * Streaming: [`weighted::SortedTargetSampler`] (one pass, total weight
+//!   known from bookkeeping) and [`reservoir::WeightedReservoir`] (A-ExpJ,
+//!   one pass, no total needed — used by the speculative one-pass mode).
+//! * Coordinator / MPC: [`discrete::multinomial`] — the coordinator splits
+//!   the `m` draws across sites according to site weights (Lemma 3.7),
+//!   which needs exact binomial sampling.
+//!
+//! [`epsnet`] holds the sample-size formula of Eq. (1).
+
+pub mod discrete;
+pub mod epsnet;
+pub mod reservoir;
+pub mod weighted;

@@ -1,0 +1,172 @@
+//! Weighted i.i.d. sampling (with replacement).
+//!
+//! Lemma 2.2 requires each of the `m` net members to be drawn
+//! independently with probability proportional to its weight. Two
+//! realizations live here:
+//!
+//! * [`sample_iid`] — the RAM/per-site primitive: prefix sums over a
+//!   weight slice, `m` binary searches.
+//! * [`SortedTargetSampler`] — the streaming primitive: given the total
+//!   weight `W` (which the streaming solver maintains exactly from one
+//!   iteration to the next, see `llp-bigdata::streaming`), draw `m`
+//!   uniforms in `[0, W)`, sort them, and intersect them with the running
+//!   prefix sum in a single pass over the stream.
+
+use llp_num::ScaledF64;
+use rand::Rng;
+
+/// Draws `m` indices i.i.d. with probability `w_i / Σw` from a slice of
+/// weights. Zero-weight elements are never selected.
+///
+/// # Panics
+/// Panics if all weights are zero or any weight is negative/non-finite.
+pub fn sample_iid<R: Rng + ?Sized>(weights: &[f64], m: usize, rng: &mut R) -> Vec<usize> {
+    assert!(!weights.is_empty(), "sampling from an empty population");
+    let mut prefix = Vec::with_capacity(weights.len());
+    let mut acc = 0.0f64;
+    for &w in weights {
+        assert!(w.is_finite() && w >= 0.0, "bad weight {w}");
+        acc += w;
+        prefix.push(acc);
+    }
+    assert!(acc > 0.0, "total weight must be positive");
+    let mut out = Vec::with_capacity(m);
+    for _ in 0..m {
+        let t = rng.random_range(0.0..acc);
+        // First index whose prefix exceeds t.
+        let idx = prefix.partition_point(|&p| p <= t);
+        out.push(idx.min(weights.len() - 1));
+    }
+    out
+}
+
+/// One-pass i.i.d. weighted sampling against a known total weight.
+///
+/// Construct with the number of draws and the exact total weight `W`;
+/// feed elements in stream order via [`SortedTargetSampler::feed`], which
+/// returns how many of the `m` draws landed on that element. Because the
+/// `m` uniform targets are drawn up front and sorted, each `feed` is
+/// amortized O(1).
+#[derive(Debug)]
+pub struct SortedTargetSampler {
+    /// Sorted uniform targets in `[0, W)`, as scaled floats to match the
+    /// weight arithmetic of the solver.
+    targets: Vec<ScaledF64>,
+    cursor: usize,
+    acc: ScaledF64,
+}
+
+impl SortedTargetSampler {
+    /// Draws `m` sorted uniform targets in `[0, total)`.
+    ///
+    /// # Panics
+    /// Panics if `total` is zero.
+    pub fn new<R: Rng + ?Sized>(m: usize, total: ScaledF64, rng: &mut R) -> Self {
+        assert!(!total.is_zero(), "total weight must be positive");
+        let mut targets: Vec<ScaledF64> = (0..m)
+            .map(|_| total * ScaledF64::from_f64(rng.random_range(0.0..1.0f64)))
+            .collect();
+        targets.sort_by(|a, b| a.partial_cmp(b).expect("weights are ordered"));
+        SortedTargetSampler { targets, cursor: 0, acc: ScaledF64::ZERO }
+    }
+
+    /// Advances the prefix sum by `weight` and returns the number of
+    /// targets falling in the covered interval — i.e. how many i.i.d.
+    /// draws selected this element.
+    pub fn feed(&mut self, weight: ScaledF64) -> usize {
+        self.acc += weight;
+        let start = self.cursor;
+        while self.cursor < self.targets.len() && self.targets[self.cursor] < self.acc {
+            self.cursor += 1;
+        }
+        self.cursor - start
+    }
+
+    /// Number of draws not yet assigned (should be 0 after a full pass if
+    /// the fed weights sum to the declared total).
+    pub fn remaining(&self) -> usize {
+        self.targets.len() - self.cursor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(31)
+    }
+
+    #[test]
+    fn iid_respects_weights() {
+        let weights = [1.0, 0.0, 3.0];
+        let mut r = rng();
+        let samples = sample_iid(&weights, 40_000, &mut r);
+        let mut counts = [0usize; 3];
+        for s in samples {
+            counts[s] += 1;
+        }
+        assert_eq!(counts[1], 0, "zero-weight element selected");
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn iid_single_element() {
+        let samples = sample_iid(&[5.0], 10, &mut rng());
+        assert!(samples.iter().all(|&i| i == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "total weight must be positive")]
+    fn iid_rejects_all_zero() {
+        let _ = sample_iid(&[0.0, 0.0], 1, &mut rng());
+    }
+
+    #[test]
+    fn sorted_targets_cover_all_draws() {
+        let mut r = rng();
+        let weights: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let total: ScaledF64 = weights.iter().map(|&w| ScaledF64::from_f64(w)).sum();
+        let m = 500;
+        let mut sampler = SortedTargetSampler::new(m, total, &mut r);
+        let mut assigned = 0;
+        for &w in &weights {
+            assigned += sampler.feed(ScaledF64::from_f64(w));
+        }
+        assert_eq!(assigned, m);
+        assert_eq!(sampler.remaining(), 0);
+    }
+
+    #[test]
+    fn sorted_targets_match_weight_distribution() {
+        let mut r = rng();
+        // Element 9 has weight 10x the rest combined.
+        let mut weights = vec![1.0; 10];
+        weights[9] = 90.0;
+        let total: ScaledF64 = weights.iter().map(|&w| ScaledF64::from_f64(w)).sum();
+        let m = 20_000;
+        let mut sampler = SortedTargetSampler::new(m, total, &mut r);
+        let counts: Vec<usize> = weights.iter().map(|&w| sampler.feed(ScaledF64::from_f64(w))).collect();
+        let frac9 = counts[9] as f64 / m as f64;
+        assert!((frac9 - 0.909).abs() < 0.02, "heavy element got {frac9}");
+    }
+
+    #[test]
+    fn sorted_targets_with_huge_scaled_weights() {
+        // Weights beyond f64 range still sample sanely.
+        let mut r = rng();
+        let w_small = ScaledF64::powi(2.0, 1000);
+        let w_big = ScaledF64::powi(2.0, 1002); // 4x the small one
+        let total = w_small + w_big;
+        let m = 10_000;
+        let mut s = SortedTargetSampler::new(m, total, &mut r);
+        let c_small = s.feed(w_small);
+        let c_big = s.feed(w_big);
+        assert_eq!(c_small + c_big, m);
+        let frac = c_big as f64 / m as f64;
+        assert!((frac - 0.8).abs() < 0.03, "frac {frac}");
+    }
+}

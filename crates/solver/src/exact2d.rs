@@ -1,0 +1,322 @@
+//! Exact 2-D linear programming over rationals.
+//!
+//! Section 5 reduces the two-curve intersection problem to a 2-dimensional
+//! LP (Figure 1b) whose constraints have slopes as large as `N^{O(r)}`;
+//! resolving the crossing index requires *exact* arithmetic. This module
+//! implements Seidel's incremental algorithm for `d = 2` over [`Rat`]
+//! (i128 rationals): randomized order, exact 1-D base case, exact variable
+//! elimination onto constraint boundaries. Intended for moderate `n`
+//! (verification and lower-bound experiments), not the streaming hot path.
+
+use llp_num::Rat;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// The halfplane `a1·x + a2·y ≤ b` with exact rational coefficients.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RatHalfplane {
+    /// Coefficient of `x`.
+    pub a1: Rat,
+    /// Coefficient of `y`.
+    pub a2: Rat,
+    /// Right-hand side.
+    pub b: Rat,
+}
+
+impl RatHalfplane {
+    /// Builds `a1·x + a2·y ≤ b`.
+    pub fn new(a1: Rat, a2: Rat, b: Rat) -> Self {
+        RatHalfplane { a1, a2, b }
+    }
+
+    /// True iff `(x, y)` satisfies the constraint (exactly).
+    pub fn contains(&self, x: Rat, y: Rat) -> bool {
+        self.a1 * x + self.a2 * y <= self.b
+    }
+}
+
+/// Result of an exact 2-D LP.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Exact2dResult {
+    /// Unique reported optimum (lexicographic tie-break, see module docs).
+    Optimal(Rat, Rat),
+    /// Empty feasible region.
+    Infeasible,
+    /// The optimum is pinned to the regularization box.
+    Unbounded,
+}
+
+/// Solves `min c1·x + c2·y` over the halfplanes intersected with the box
+/// `[-M, M]²`, exactly.
+pub fn solve<R: Rng + ?Sized>(
+    constraints: &[RatHalfplane],
+    c: (Rat, Rat),
+    box_m: Rat,
+    rng: &mut R,
+) -> Exact2dResult {
+    assert!(box_m > Rat::ZERO, "box must have positive half-width");
+    let mut order: Vec<usize> = (0..constraints.len()).collect();
+    order.shuffle(rng);
+
+    // Start at the box vertex minimizing the objective, ties toward -M.
+    let pick = |coef: Rat| if coef > Rat::ZERO { -box_m } else if coef < Rat::ZERO { box_m } else { -box_m };
+    let mut x = pick(c.0);
+    let mut y = pick(c.1);
+
+    for (pos, &i) in order.iter().enumerate() {
+        let h = constraints[i];
+        if h.contains(x, y) {
+            continue;
+        }
+        if h.a1 == Rat::ZERO && h.a2 == Rat::ZERO {
+            // 0 ≤ b violated means b < 0.
+            return Exact2dResult::Infeasible;
+        }
+        // Optimum moves to the boundary line a1·x + a2·y = b. Restrict the
+        // prefix (plus the box) to that line and solve in 1-D.
+        let active: Vec<RatHalfplane> = order[..pos].iter().map(|&j| constraints[j]).collect();
+        match solve_on_line(&active, h, c, box_m) {
+            Some((nx, ny)) => {
+                x = nx;
+                y = ny;
+            }
+            None => return Exact2dResult::Infeasible,
+        }
+    }
+    if x.abs() >= box_m || y.abs() >= box_m {
+        return Exact2dResult::Unbounded;
+    }
+    Exact2dResult::Optimal(x, y)
+}
+
+/// Minimizes `c` over `active ∩ box ∩ {a1·x + a2·y = b}` (the boundary of
+/// `line`). Returns `None` if that set is empty.
+///
+/// The box bounds of *both* coordinates are appended as ordinary
+/// constraints before substitution, so the 1-D subproblem is exact — no
+/// approximate interval shrinking is ever needed.
+fn solve_on_line(
+    active: &[RatHalfplane],
+    line: RatHalfplane,
+    c: (Rat, Rat),
+    box_m: Rat,
+) -> Option<(Rat, Rat)> {
+    let mut all: Vec<RatHalfplane> = Vec::with_capacity(active.len() + 4);
+    all.extend_from_slice(active);
+    all.push(RatHalfplane::new(Rat::ONE, Rat::ZERO, box_m));
+    all.push(RatHalfplane::new(-Rat::ONE, Rat::ZERO, box_m));
+    all.push(RatHalfplane::new(Rat::ZERO, Rat::ONE, box_m));
+    all.push(RatHalfplane::new(Rat::ZERO, -Rat::ONE, box_m));
+
+    // Eliminate the variable with a nonzero coefficient; prefer y so the
+    // free parameter is x (matches the TCI geometry where lines are
+    // functions of x).
+    if line.a2 != Rat::ZERO {
+        // y = (b - a1 x)/a2. Constraint g: g1 x + g2 y ≤ gb becomes
+        // (g1 - g2 a1/a2) x ≤ gb - g2 b/a2.
+        let sub = |g: &RatHalfplane| -> (Rat, Rat) {
+            let t = g.a2 / line.a2;
+            (g.a1 - t * line.a1, g.b - t * line.b)
+        };
+        let c_red = c.0 - (c.1 / line.a2) * line.a1;
+        let x = solve_1d(&all, sub, c_red, box_m)?;
+        let y = (line.b - line.a1 * x) / line.a2;
+        Some((x, y))
+    } else {
+        // Vertical line x = b/a1; free parameter is y.
+        let x0 = line.b / line.a1;
+        if x0.abs() > box_m {
+            return None;
+        }
+        let sub = |g: &RatHalfplane| -> (Rat, Rat) { (g.a2, g.b - g.a1 * x0) };
+        let y = solve_1d(&all, sub, c.1, box_m)?;
+        Some((x0, y))
+    }
+}
+
+/// 1-D exact LP: minimize `c_red · t` over the interval carved by the
+/// substituted constraints, intersected with `[-M, M]`.
+fn solve_1d<F>(active: &[RatHalfplane], sub: F, c_red: Rat, box_m: Rat) -> Option<Rat>
+where
+    F: Fn(&RatHalfplane) -> (Rat, Rat),
+{
+    let mut lo = -box_m;
+    let mut hi = box_m;
+    for g in active {
+        let (coef, rhs) = sub(g);
+        if coef == Rat::ZERO {
+            if rhs < Rat::ZERO {
+                return None;
+            }
+            continue;
+        }
+        let bound = rhs / coef;
+        if coef > Rat::ZERO {
+            if bound < hi {
+                hi = bound;
+            }
+        } else if bound > lo {
+            lo = bound;
+        }
+    }
+    if lo > hi {
+        return None;
+    }
+    Some(if c_red > Rat::ZERO {
+        lo
+    } else if c_red < Rat::ZERO {
+        hi
+    } else {
+        lo // deterministic lexicographic tie-break toward smaller t
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn r(n: i128, d: i128) -> Rat {
+        Rat::new(n, d)
+    }
+
+    fn ri(n: i128) -> Rat {
+        Rat::from_int(n)
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    fn big() -> Rat {
+        ri(1_000_000_000)
+    }
+
+    #[test]
+    fn vertex_exact() {
+        // min -x - y : x + 2y ≤ 4, 3x + y ≤ 6 → (8/5, 6/5).
+        let cs = vec![
+            RatHalfplane::new(ri(1), ri(2), ri(4)),
+            RatHalfplane::new(ri(3), ri(1), ri(6)),
+        ];
+        match solve(&cs, (ri(-1), ri(-1)), big(), &mut rng()) {
+            Exact2dResult::Optimal(x, y) => {
+                assert_eq!(x, r(8, 5));
+                assert_eq!(y, r(6, 5));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn min_y_above_two_lines() {
+        // y ≥ x (i.e. x - y ≤ 0) and y ≥ -x+2: min y at crossing (1,1).
+        let cs = vec![
+            RatHalfplane::new(ri(1), ri(-1), ri(0)),
+            RatHalfplane::new(ri(-1), ri(-1), ri(-2)),
+        ];
+        match solve(&cs, (ri(0), ri(1)), big(), &mut rng()) {
+            Exact2dResult::Optimal(x, y) => {
+                assert_eq!((x, y), (ri(1), ri(1)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn infeasible() {
+        let cs = vec![
+            RatHalfplane::new(ri(1), ri(0), ri(0)),  // x ≤ 0
+            RatHalfplane::new(ri(-1), ri(0), ri(-1)), // x ≥ 1
+        ];
+        assert_eq!(solve(&cs, (ri(0), ri(1)), big(), &mut rng()), Exact2dResult::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_pins_to_box() {
+        let cs = vec![RatHalfplane::new(ri(-1), ri(0), ri(0))]; // x ≥ 0
+        assert_eq!(solve(&cs, (ri(0), ri(1)), big(), &mut rng()), Exact2dResult::Unbounded);
+    }
+
+    #[test]
+    fn vertical_boundary_line() {
+        // x ≤ 3 binding with min -x: optimum x = 3; y tie-breaks low but y
+        // is unconstrained → pinned to box → Unbounded. Constrain y too.
+        let cs = vec![
+            RatHalfplane::new(ri(1), ri(0), ri(3)),
+            RatHalfplane::new(ri(0), ri(1), ri(5)),
+            RatHalfplane::new(ri(0), ri(-1), ri(0)), // y ≥ 0
+        ];
+        match solve(&cs, (ri(-1), ri(0)), big(), &mut rng()) {
+            Exact2dResult::Optimal(x, y) => {
+                assert_eq!(x, ri(3));
+                assert_eq!(y, ri(0)); // tie-break toward smaller y
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn exactness_with_huge_slopes() {
+        // Lines with slope ~10^12 crossing at an exact rational point.
+        let s = ri(1_000_000_000_000);
+        // y ≥ s·x  and  y ≥ -s·x + s  cross at x = 1/2, y = s/2.
+        let cs = vec![
+            RatHalfplane::new(s, ri(-1), ri(0)),
+            RatHalfplane::new(-s, ri(-1), -s),
+        ];
+        let m = ri(10_000_000_000_000);
+        match solve(&cs, (ri(0), ri(1)), m, &mut rng()) {
+            Exact2dResult::Optimal(x, y) => {
+                assert_eq!(x, r(1, 2));
+                assert_eq!(y, s / ri(2));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_normal_constraints() {
+        let cs = vec![RatHalfplane::new(ri(0), ri(0), ri(-1))];
+        assert_eq!(solve(&cs, (ri(0), ri(1)), big(), &mut rng()), Exact2dResult::Infeasible);
+        let cs = vec![
+            RatHalfplane::new(ri(0), ri(0), ri(1)),
+            RatHalfplane::new(ri(0), ri(-1), ri(0)),
+            RatHalfplane::new(ri(0), ri(1), ri(2)),
+            RatHalfplane::new(ri(-1), ri(0), ri(0)),
+            RatHalfplane::new(ri(1), ri(0), ri(2)),
+        ];
+        match solve(&cs, (ri(0), ri(1)), big(), &mut rng()) {
+            Exact2dResult::Optimal(_, y) => assert_eq!(y, ri(0)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn many_random_lines_min_y_is_feasible_and_minimal() {
+        use rand::Rng as _;
+        let mut g = rng();
+        for _ in 0..10 {
+            // Random "above line" constraints: y ≥ k·x + c → kx - y ≤ -c.
+            let cs: Vec<RatHalfplane> = (0..30)
+                .map(|_| {
+                    let k = ri(g.random_range(-20..20));
+                    let c = ri(g.random_range(-50..50));
+                    RatHalfplane::new(k, ri(-1), -c)
+                })
+                .collect();
+            match solve(&cs, (ri(0), ri(1)), big(), &mut g) {
+                Exact2dResult::Optimal(x, y) => {
+                    for h in &cs {
+                        assert!(h.contains(x, y), "{h:?} violated at ({x:?},{y:?})");
+                    }
+                    // Minimality: nudging y down violates some constraint.
+                    let y2 = y - r(1, 1000);
+                    assert!(cs.iter().any(|h| !h.contains(x, y2)));
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! Seidel's randomized incremental algorithm for low-dimensional LP.
+//!
+//! Solves `min c·x` subject to halfspace constraints `a_j·x ≤ b_j`,
+//! intersected with the regularization box `[-M, M]^d`. The box guarantees
+//! a bounded subproblem at every recursion level; if the final optimum is
+//! pinned to the box the caller receives [`LpResult::Unbounded`].
+//!
+//! The algorithm processes constraints in random order, maintaining the
+//! optimum of the prefix. When the next constraint is violated, the new
+//! optimum lies on its boundary hyperplane, so the problem recurses into
+//! `d - 1` dimensions via exact variable elimination
+//! ([`Halfspace::eliminate_into`]). Expected running time is `O(d! · m)`
+//! for `m` constraints — linear in `m` for fixed `d`, which is the regime
+//! of the paper.
+
+use crate::LpResult;
+use llp_geom::{Halfspace, Point};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Configuration for the Seidel solver.
+#[derive(Clone, Copy, Debug)]
+pub struct SeidelConfig {
+    /// Half-width of the regularization box `[-M, M]^d`.
+    pub box_half_width: f64,
+    /// Relative feasibility tolerance.
+    pub eps: f64,
+}
+
+impl Default for SeidelConfig {
+    fn default() -> Self {
+        SeidelConfig { box_half_width: 1e9, eps: 1e-9 }
+    }
+}
+
+/// Solves `min c·x : a_j·x ≤ b_j ∀j, x ∈ [-M, M]^d`.
+///
+/// Constraints of mismatched dimension cause a panic. The result point, if
+/// optimal, satisfies every constraint to within the configured tolerance.
+pub fn solve<R: Rng + ?Sized>(
+    constraints: &[Halfspace],
+    objective: &[f64],
+    cfg: &SeidelConfig,
+    rng: &mut R,
+) -> LpResult {
+    let d = objective.len();
+    assert!(d >= 1, "objective in zero dimensions");
+    for h in constraints {
+        assert_eq!(h.dim(), d, "constraint dimension mismatch");
+    }
+    // Work on an index permutation of normalized constraints.
+    let mut work: Vec<Halfspace> = constraints.iter().map(normalize).collect();
+    work.shuffle(rng);
+    match solve_rec(&work, objective, cfg, rng) {
+        Some(x) => {
+            if on_box(&x, cfg) {
+                LpResult::Unbounded
+            } else {
+                LpResult::Optimal(x)
+            }
+        }
+        None => LpResult::Infeasible,
+    }
+}
+
+/// Scales a constraint so `‖a‖ = 1` (pure normalization; the halfspace is
+/// unchanged). Constraints with a zero normal become `0 ≤ b` and are kept
+/// verbatim so infeasibility (`b < 0`) is still detected.
+fn normalize(h: &Halfspace) -> Halfspace {
+    let n = llp_num::linalg::norm(&h.a);
+    if n <= 1e-300 {
+        return h.clone();
+    }
+    Halfspace { a: h.a.iter().map(|v| v / n).collect(), b: h.b / n }
+}
+
+fn on_box(x: &[f64], cfg: &SeidelConfig) -> bool {
+    let m = cfg.box_half_width;
+    x.iter().any(|v| v.abs() >= m * (1.0 - 1e-6))
+}
+
+/// Recursive core. `None` means infeasible. The returned point is the
+/// optimum over `constraints ∩ [-M, M]^d`.
+fn solve_rec<R: Rng + ?Sized>(
+    constraints: &[Halfspace],
+    objective: &[f64],
+    cfg: &SeidelConfig,
+    rng: &mut R,
+) -> Option<Point> {
+    let d = objective.len();
+    if d == 1 {
+        return solve_1d(constraints, objective[0], cfg);
+    }
+
+    // Start from the box vertex minimizing the objective (deterministic
+    // tie-break toward -M).
+    let m = cfg.box_half_width;
+    let mut x: Point = objective.iter().map(|&c| if c > 0.0 { -m } else if c < 0.0 { m } else { -m }).collect();
+
+    for i in 0..constraints.len() {
+        let h = &constraints[i];
+        if h.contains_eps(&x, cfg.eps) {
+            continue;
+        }
+        // Zero-normal constraint that x fails is 0 ≤ b with b < 0.
+        let (pivot_var, pivot_mag) = argmax_abs(&h.a);
+        if pivot_mag <= 1e-12 {
+            return None;
+        }
+        // New optimum lies on the boundary of h: eliminate pivot_var and
+        // recurse on the prefix (plus the box constraints of the eliminated
+        // variable, which become ordinary constraints after elimination).
+        let mut reduced: Vec<Halfspace> = Vec::with_capacity(i + 2);
+        for g in &constraints[..i] {
+            reduced.push(h.eliminate_into(g, pivot_var));
+        }
+        // Box for the eliminated variable: x_var ≤ M and -x_var ≤ M.
+        let mut lo = vec![0.0; d];
+        lo[pivot_var] = -1.0;
+        let mut hi = vec![0.0; d];
+        hi[pivot_var] = 1.0;
+        reduced.push(h.eliminate_into(&Halfspace::new(hi, m), pivot_var));
+        reduced.push(h.eliminate_into(&Halfspace::new(lo, m), pivot_var));
+
+        // Objective restricted to the hyperplane: substitute x_var.
+        let scale = objective[pivot_var] / h.a[pivot_var];
+        let mut obj_red = Vec::with_capacity(d - 1);
+        for k in 0..d {
+            if k != pivot_var {
+                obj_red.push(objective[k] - scale * h.a[k]);
+            }
+        }
+        reduced.shuffle(rng);
+        let y = solve_rec(&reduced, &obj_red, cfg, rng)?;
+        x = h.lift(&y, pivot_var);
+        // Clamp lift noise back into the box.
+        for v in &mut x {
+            *v = v.clamp(-m, m);
+        }
+    }
+    Some(x)
+}
+
+fn argmax_abs(a: &[f64]) -> (usize, f64) {
+    let mut best = 0;
+    let mut mag = a[0].abs();
+    for (i, v) in a.iter().enumerate().skip(1) {
+        if v.abs() > mag {
+            best = i;
+            mag = v.abs();
+        }
+    }
+    (best, mag)
+}
+
+/// One-dimensional base case: intersect rays, pick the endpoint minimizing
+/// `c·x` (tie-break toward the smaller endpoint so the result is
+/// deterministic given the constraint set).
+fn solve_1d(constraints: &[Halfspace], c: f64, cfg: &SeidelConfig) -> Option<Point> {
+    let m = cfg.box_half_width;
+    let mut lo = -m;
+    let mut hi = m;
+    for h in constraints {
+        let a = h.a[0];
+        if a.abs() <= 1e-12 {
+            // 0·x ≤ b: infeasible iff b is definitely negative.
+            if h.b < -cfg.eps {
+                return None;
+            }
+            continue;
+        }
+        let bound = h.b / a;
+        if a > 0.0 {
+            hi = hi.min(bound);
+        } else {
+            lo = lo.max(bound);
+        }
+    }
+    if lo > hi + cfg.eps * lo.abs().max(hi.abs()).max(1.0) {
+        return None;
+    }
+    let hi = hi.max(lo); // collapse tolerance-sized inversions
+    let x = if c > 0.0 {
+        lo
+    } else if c < 0.0 {
+        hi
+    } else {
+        lo
+    };
+    Some(vec![x])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llp_num::linalg::dot;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    fn assert_pt(x: &[f64], want: &[f64]) {
+        assert_eq!(x.len(), want.len());
+        for i in 0..x.len() {
+            assert!((x[i] - want[i]).abs() < 1e-6, "x = {x:?}, want {want:?}");
+        }
+    }
+
+    #[test]
+    fn one_dim_interval() {
+        // x ≤ 5, -x ≤ -2 (x ≥ 2); min x -> 2, max x (c = -1) -> 5.
+        let cs = vec![Halfspace::new(vec![1.0], 5.0), Halfspace::new(vec![-1.0], -2.0)];
+        let r = solve(&cs, &[1.0], &SeidelConfig::default(), &mut rng());
+        assert_pt(r.point().unwrap(), &[2.0]);
+        let r = solve(&cs, &[-1.0], &SeidelConfig::default(), &mut rng());
+        assert_pt(r.point().unwrap(), &[5.0]);
+    }
+
+    #[test]
+    fn one_dim_infeasible() {
+        let cs = vec![Halfspace::new(vec![1.0], 1.0), Halfspace::new(vec![-1.0], -2.0)];
+        assert_eq!(solve(&cs, &[1.0], &SeidelConfig::default(), &mut rng()), LpResult::Infeasible);
+    }
+
+    #[test]
+    fn two_dim_vertex() {
+        // min -x - y subject to x + 2y ≤ 4, 3x + y ≤ 6, in the box.
+        // Optimum at intersection: x = 8/5, y = 6/5.
+        let cs = vec![
+            Halfspace::new(vec![1.0, 2.0], 4.0),
+            Halfspace::new(vec![3.0, 1.0], 6.0),
+        ];
+        let r = solve(&cs, &[-1.0, -1.0], &SeidelConfig::default(), &mut rng());
+        assert_pt(r.point().unwrap(), &[1.6, 1.2]);
+    }
+
+    #[test]
+    fn two_dim_unbounded_detected() {
+        // min -x with only x ≥ 0: optimum runs to the box.
+        let cs = vec![Halfspace::new(vec![-1.0, 0.0], 0.0)];
+        assert_eq!(solve(&cs, &[-1.0, 0.0], &SeidelConfig::default(), &mut rng()), LpResult::Unbounded);
+    }
+
+    #[test]
+    fn two_dim_infeasible() {
+        let cs = vec![
+            Halfspace::new(vec![1.0, 0.0], 0.0),
+            Halfspace::new(vec![-1.0, 0.0], -1.0), // x ≥ 1 and x ≤ 0
+        ];
+        assert_eq!(solve(&cs, &[1.0, 1.0], &SeidelConfig::default(), &mut rng()), LpResult::Infeasible);
+    }
+
+    #[test]
+    fn three_dim_simplex_corner() {
+        // min -(x+y+z) s.t. x+y+z ≤ 1, -x ≤ 0, -y ≤ 0, -z ≤ 0.
+        let cs = vec![
+            Halfspace::new(vec![1.0, 1.0, 1.0], 1.0),
+            Halfspace::new(vec![-1.0, 0.0, 0.0], 0.0),
+            Halfspace::new(vec![0.0, -1.0, 0.0], 0.0),
+            Halfspace::new(vec![0.0, 0.0, -1.0], 0.0),
+        ];
+        let r = solve(&cs, &[-1.0, -1.0, -1.0], &SeidelConfig::default(), &mut rng());
+        let x = r.point().unwrap();
+        let sum: f64 = x.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "optimum on the simplex facet, got {x:?}");
+    }
+
+    #[test]
+    fn redundant_constraints_ignored() {
+        let mut cs = vec![
+            Halfspace::new(vec![1.0, 0.0], 1.0),
+            Halfspace::new(vec![0.0, 1.0], 1.0),
+            Halfspace::new(vec![-1.0, 0.0], 0.0),
+            Halfspace::new(vec![0.0, -1.0], 0.0),
+        ];
+        // Add many redundant copies far away.
+        for k in 2..200 {
+            cs.push(Halfspace::new(vec![1.0, 1.0], k as f64));
+        }
+        let r = solve(&cs, &[-1.0, -1.0], &SeidelConfig::default(), &mut rng());
+        assert_pt(r.point().unwrap(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn zero_normal_infeasible_constraint() {
+        let cs = vec![Halfspace::new(vec![0.0, 0.0], -1.0)];
+        assert_eq!(solve(&cs, &[1.0, 1.0], &SeidelConfig::default(), &mut rng()), LpResult::Infeasible);
+    }
+
+    #[test]
+    fn feasible_point_satisfies_all_constraints() {
+        use rand::Rng;
+        let mut r = rng();
+        for trial in 0..30 {
+            let d = 2 + (trial % 3);
+            // Random halfspaces tangent to the unit sphere: a·x ≤ 1 with
+            // ‖a‖ = 1 keeps the origin feasible and the region bounded once
+            // enough directions accumulate.
+            let m = 50;
+            let mut cs = Vec::with_capacity(m);
+            for _ in 0..m {
+                let mut a: Vec<f64> = (0..d).map(|_| r.random_range(-1.0..1.0)).collect();
+                let n = llp_num::linalg::norm(&a);
+                if n < 1e-6 {
+                    continue;
+                }
+                a.iter_mut().for_each(|v| *v /= n);
+                cs.push(Halfspace::new(a, 1.0));
+            }
+            let c: Vec<f64> = (0..d).map(|_| r.random_range(-1.0..1.0)).collect();
+            match solve(&cs, &c, &SeidelConfig::default(), &mut r) {
+                LpResult::Optimal(x) => {
+                    for h in &cs {
+                        assert!(h.contains_eps(&x, 1e-6), "violated {h:?} at {x:?}");
+                    }
+                    // Optimal value must beat the origin (feasible).
+                    assert!(dot(&c, &x) <= 1e-9);
+                }
+                LpResult::Unbounded => {} // possible if directions don't surround
+                LpResult::Infeasible => panic!("origin is feasible"),
+            }
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Dense two-phase primal simplex.
+//!
+//! An *independent* LP solver used to cross-validate Seidel's algorithm in
+//! tests and benches. It is deliberately simple: the problem
+//! `min c·x : Ax ≤ b, x ∈ [-M, M]^d` is shifted by `M` so variables are
+//! non-negative (`x = x' - M`), slack variables make constraints
+//! equalities, and a phase-1 with artificial variables finds a starting
+//! basis. Bland's rule guarantees termination. Intended for small `m`
+//! (cross-checks); the production path is [`crate::seidel`].
+
+use crate::LpResult;
+use llp_geom::Halfspace;
+
+/// Solves `min c·x : a_j·x ≤ b_j, x ∈ [-M, M]^d` by two-phase simplex.
+pub fn solve(constraints: &[Halfspace], objective: &[f64], box_half_width: f64) -> LpResult {
+    let d = objective.len();
+    let m_box = box_half_width;
+    // Shift: x = y - M, y ∈ [0, 2M].
+    // a·x ≤ b  =>  a·y ≤ b + M·Σa_i ; plus y_i ≤ 2M for each i.
+    let mut rows: Vec<(Vec<f64>, f64)> = Vec::with_capacity(constraints.len() + d);
+    for h in constraints {
+        assert_eq!(h.dim(), d);
+        let shift: f64 = h.a.iter().sum::<f64>() * m_box;
+        rows.push((h.a.clone(), h.b + shift));
+    }
+    for i in 0..d {
+        let mut a = vec![0.0; d];
+        a[i] = 1.0;
+        rows.push((a, 2.0 * m_box));
+    }
+    let m = rows.len();
+
+    // Tableau over variables: y (d) | slacks (m) | artificials (≤ m).
+    // Standard form rows: a·y + s_j = rhs with rhs ≥ 0 (flip rows with
+    // negative rhs, turning the slack coefficient to -1 and requiring an
+    // artificial variable).
+    let mut need_artificial = Vec::new();
+    for (j, row) in rows.iter_mut().enumerate() {
+        if row.1 < 0.0 {
+            need_artificial.push(j);
+        }
+    }
+    let n_art = need_artificial.len();
+    let n_total = d + m + n_art;
+    let mut t = vec![vec![0.0; n_total + 1]; m];
+    let mut basis = vec![0usize; m];
+    {
+        let mut art = 0;
+        for j in 0..m {
+            let (a, b) = &rows[j];
+            let flip = if *b < 0.0 { -1.0 } else { 1.0 };
+            for i in 0..d {
+                t[j][i] = flip * a[i];
+            }
+            t[j][d + j] = flip; // slack (+1 or -1 after flip)
+            t[j][n_total] = flip * *b;
+            if *b < 0.0 {
+                t[j][d + m + art] = 1.0;
+                basis[j] = d + m + art;
+                art += 1;
+            } else {
+                basis[j] = d + j;
+            }
+        }
+    }
+
+    // Phase 1: minimize the sum of artificial variables.
+    if n_art > 0 {
+        let mut cost1 = vec![0.0; n_total];
+        for k in 0..n_art {
+            cost1[d + m + k] = 1.0;
+        }
+        let v = run_simplex(&mut t, &mut basis, &cost1, n_total);
+        if v > 1e-7 {
+            return LpResult::Infeasible;
+        }
+        // Drive any artificial still basic (at zero) out of the basis.
+        for j in 0..m {
+            if basis[j] >= d + m {
+                if let Some(enter) = (0..d + m).find(|&i| t[j][i].abs() > 1e-9) {
+                    pivot(&mut t, &mut basis, j, enter, n_total);
+                }
+            }
+        }
+    }
+
+    // Phase 2: original objective over y (artificial columns frozen).
+    let mut cost2 = vec![0.0; n_total];
+    cost2[..d].copy_from_slice(objective);
+    run_simplex(&mut t, &mut basis, &cost2, d + m);
+
+    // Extract y and un-shift.
+    let mut y = vec![0.0; d];
+    for j in 0..m {
+        if basis[j] < d {
+            y[basis[j]] = t[j][n_total];
+        }
+    }
+    let x: Vec<f64> = y.iter().map(|v| v - m_box).collect();
+    if x.iter().any(|v| v.abs() >= m_box * (1.0 - 1e-6)) {
+        return LpResult::Unbounded;
+    }
+    LpResult::Optimal(x)
+}
+
+/// Runs Bland-rule simplex minimizing `cost` over the first `n_cols`
+/// columns. Returns the final objective value.
+fn run_simplex(t: &mut [Vec<f64>], basis: &mut [usize], cost: &[f64], n_cols: usize) -> f64 {
+    let m = t.len();
+    let rhs_col = t[0].len() - 1;
+    loop {
+        // Reduced costs: c_i - c_B · B^{-1} A_i (tableau is already in
+        // basic form, so reduced cost of column i is cost[i] minus the
+        // basic-cost combination of column i).
+        let mut entering = None;
+        for i in 0..n_cols {
+            if basis.contains(&i) {
+                continue;
+            }
+            let mut r = cost[i];
+            for j in 0..m {
+                r -= cost[basis[j]] * t[j][i];
+            }
+            if r < -1e-9 {
+                entering = Some(i);
+                break; // Bland: smallest index
+            }
+        }
+        let Some(enter) = entering else {
+            let mut v = 0.0;
+            for j in 0..m {
+                v += cost[basis[j]] * t[j][rhs_col];
+            }
+            return v;
+        };
+        // Ratio test (Bland tie-break on basis index).
+        let mut leave: Option<usize> = None;
+        let mut best = f64::INFINITY;
+        for j in 0..m {
+            if t[j][enter] > 1e-9 {
+                let ratio = t[j][rhs_col] / t[j][enter];
+                if ratio < best - 1e-12
+                    || ((ratio - best).abs() <= 1e-12
+                        && leave.map_or(true, |l| basis[j] < basis[l]))
+                {
+                    best = ratio;
+                    leave = Some(j);
+                }
+            }
+        }
+        let Some(leave) = leave else {
+            // Unbounded direction inside the box cannot happen (all y are
+            // box-bounded) — treat as converged defensively.
+            let mut v = 0.0;
+            for j in 0..m {
+                v += cost[basis[j]] * t[j][rhs_col];
+            }
+            return v;
+        };
+        pivot(t, basis, leave, enter, rhs_col);
+    }
+}
+
+fn pivot(t: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize, rhs_col: usize) {
+    let m = t.len();
+    let inv = 1.0 / t[row][col];
+    for c in 0..=rhs_col {
+        t[row][c] *= inv;
+    }
+    for j in 0..m {
+        if j == row {
+            continue;
+        }
+        let f = t[j][col];
+        if f == 0.0 {
+            continue;
+        }
+        for c in 0..=rhs_col {
+            let v = t[row][c];
+            t[j][c] -= f * v;
+        }
+    }
+    basis[row] = col;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seidel::{self, SeidelConfig};
+    use llp_num::linalg::{dot, norm};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn vertex_2d() {
+        let cs = vec![
+            Halfspace::new(vec![1.0, 2.0], 4.0),
+            Halfspace::new(vec![3.0, 1.0], 6.0),
+        ];
+        let r = solve(&cs, &[-1.0, -1.0], 1e3);
+        let x = r.point().unwrap();
+        assert!((x[0] - 1.6).abs() < 1e-6 && (x[1] - 1.2).abs() < 1e-6, "{x:?}");
+    }
+
+    #[test]
+    fn infeasible_2d() {
+        let cs = vec![
+            Halfspace::new(vec![1.0, 0.0], 0.0),
+            Halfspace::new(vec![-1.0, 0.0], -1.0),
+        ];
+        assert_eq!(solve(&cs, &[1.0, 1.0], 1e3), LpResult::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_hits_box() {
+        let cs = vec![Halfspace::new(vec![-1.0, 0.0], 0.0)];
+        assert_eq!(solve(&cs, &[-1.0, 0.0], 1e3), LpResult::Unbounded);
+    }
+
+    /// Differential test: simplex and Seidel agree on objective value over
+    /// random bounded-feasible LPs in d = 2..4.
+    #[test]
+    fn agrees_with_seidel() {
+        let mut rng = StdRng::seed_from_u64(4242);
+        for trial in 0..40 {
+            let d = 2 + trial % 3;
+            let mut cs = Vec::new();
+            for _ in 0..40 {
+                let mut a: Vec<f64> = (0..d).map(|_| rng.random_range(-1.0..1.0)).collect();
+                let n = norm(&a);
+                if n < 1e-3 {
+                    continue;
+                }
+                a.iter_mut().for_each(|v| *v /= n);
+                cs.push(Halfspace::new(a, rng.random_range(0.5..2.0)));
+            }
+            let c: Vec<f64> = (0..d).map(|_| rng.random_range(-1.0..1.0)).collect();
+            let s1 = solve(&cs, &c, 1e3);
+            let s2 = seidel::solve(&cs, &c, &SeidelConfig { box_half_width: 1e3, eps: 1e-9 }, &mut rng);
+            match (&s1, &s2) {
+                (LpResult::Optimal(x1), LpResult::Optimal(x2)) => {
+                    let (v1, v2) = (dot(&c, x1), dot(&c, x2));
+                    assert!(
+                        (v1 - v2).abs() < 1e-5 * v1.abs().max(1.0),
+                        "trial {trial}: simplex {v1} vs seidel {v2}"
+                    );
+                }
+                (a, b) => assert_eq!(
+                    std::mem::discriminant(a),
+                    std::mem::discriminant(b),
+                    "trial {trial}: {s1:?} vs {s2:?}"
+                ),
+            }
+        }
+    }
+}

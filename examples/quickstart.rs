@@ -1,0 +1,69 @@
+//! Quickstart: solve a low-dimensional LP with Algorithm 1, in RAM and as
+//! a multi-pass stream.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use lodim_lp::bigdata::streaming::{self, SamplingMode};
+use lodim_lp::core::clarkson::ClarksonConfig;
+use lodim_lp::core::instances::lp::LpProblem;
+use lodim_lp::core::lptype::LpTypeProblem;
+use lodim_lp::geom::Halfspace;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(42);
+
+    // A 3-dimensional LP: minimize -x0 - x1 - x2 over 100k random
+    // halfspaces tangent to the unit sphere (feasible: the origin).
+    let (problem, constraints) = lodim_lp::workloads::random_lp(100_000, 3, &mut rng);
+    println!("LP: {} constraints in d = {}", constraints.len(), problem.dim());
+
+    // --- RAM: the meta-algorithm (Algorithm 1 of the paper). ---
+    let cfg = ClarksonConfig::lean(3); // r = 3: weights grow by n^(1/3)
+    let (solution, stats) =
+        lodim_lp::core::clarkson_solve(&problem, &constraints, &cfg, &mut rng)
+            .expect("feasible and bounded");
+    println!(
+        "RAM     : optimum {:?} (objective {:.6}) in {} iterations (net size {})",
+        solution.iter().map(|v| (v * 1e4).round() / 1e4).collect::<Vec<_>>(),
+        problem.objective_value(&solution),
+        stats.iterations,
+        stats.net_size,
+    );
+
+    // --- Streaming: same algorithm, one linear scan per pass. ---
+    let (streamed, sstats) = streaming::solve(
+        &problem,
+        &constraints,
+        &cfg,
+        SamplingMode::OnePassSpeculative,
+        &mut rng,
+    )
+    .expect("feasible and bounded");
+    println!(
+        "Stream  : objective {:.6} using {} passes and {} KiB peak memory",
+        problem.objective_value(&streamed),
+        sstats.passes,
+        sstats.peak_space_bits / 8192,
+    );
+
+    // --- Validate: no constraint is violated; objectives agree. ---
+    let viol = lodim_lp::core::lptype::count_violations(&problem, &streamed, &constraints);
+    assert_eq!(viol, 0, "streamed solution violates constraints");
+    let gap =
+        (problem.objective_value(&solution) - problem.objective_value(&streamed)).abs();
+    assert!(gap < 1e-5, "objective gap {gap}");
+    println!("OK: both solutions satisfy all constraints and agree on the objective");
+
+    // A custom LP built by hand works the same way:
+    let tiny = LpProblem::new(vec![-1.0, -1.0]);
+    let cs = vec![
+        Halfspace::new(vec![1.0, 2.0], 4.0),
+        Halfspace::new(vec![3.0, 1.0], 6.0),
+    ];
+    let x = tiny.solve_subset(&cs, &mut rng).expect("solvable");
+    println!("Hand-built LP optimum: ({:.3}, {:.3})", x[0], x[1]);
+}

@@ -1,0 +1,156 @@
+//! Integration: the four implementations of Algorithm 1 (RAM, streaming,
+//! coordinator, MPC) and the direct solvers agree on every problem
+//! instance of Section 4.
+
+use lodim_lp::bigdata::coordinator;
+use lodim_lp::bigdata::mpc::{self, MpcConfig};
+use lodim_lp::bigdata::streaming::{self, SamplingMode};
+use lodim_lp::core::clarkson::ClarksonConfig;
+use lodim_lp::core::instances::meb::MebProblem;
+use lodim_lp::core::instances::svm::SvmProblem;
+use lodim_lp::core::lptype::{count_violations, LpTypeProblem};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N: usize = 20_000;
+
+fn close(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol * a.abs().max(b.abs()).max(1.0)
+}
+
+#[test]
+fn lp_all_models_agree_with_direct_solver() {
+    for d in [2usize, 3, 4] {
+        let mut rng = StdRng::seed_from_u64(100 + d as u64);
+        let (p, cs) = lodim_lp::workloads::random_lp(N, d, &mut rng);
+        let direct = p.solve_subset(&cs, &mut rng).expect("feasible");
+        let v_direct = p.objective_value(&direct);
+
+        let (ram, _) = lodim_lp::core::clarkson_solve(&p, &cs, &ClarksonConfig::lean(2), &mut rng)
+            .expect("ram");
+        let (st, _) = streaming::solve(
+            &p,
+            &cs,
+            &ClarksonConfig::lean(2),
+            SamplingMode::TwoPassIid,
+            &mut rng,
+        )
+        .expect("stream");
+        let (co, _) =
+            coordinator::solve(&p, cs.clone(), 8, &ClarksonConfig::lean(2), &mut rng)
+                .expect("coord");
+        let (mp, _) =
+            mpc::solve(&p, cs.clone(), &MpcConfig::lean(0.4), &mut rng).expect("mpc");
+
+        for (name, sol) in [("ram", &ram), ("stream", &st), ("coord", &co), ("mpc", &mp)] {
+            assert_eq!(count_violations(&p, sol, &cs), 0, "{name} violates input (d={d})");
+            assert!(
+                close(p.objective_value(sol), v_direct, 1e-5),
+                "{name} objective {} vs direct {v_direct} (d={d})",
+                p.objective_value(sol)
+            );
+        }
+    }
+}
+
+#[test]
+fn svm_all_models_match_margin() {
+    let d = 3;
+    let margin = 0.6;
+    let mut rng = StdRng::seed_from_u64(200);
+    let (pts, _) = lodim_lp::workloads::separable_clouds(N, d, margin, &mut rng);
+    let p = SvmProblem::new(d);
+    let direct = p.solve_subset(&pts, &mut rng).expect("separable");
+    let v_direct = p.objective_value(&direct);
+    assert!(v_direct <= 1.0 / (margin * margin) + 1e-6);
+
+    let (st, _) = streaming::solve(
+        &p,
+        &pts,
+        &ClarksonConfig::lean(3),
+        SamplingMode::OnePassSpeculative,
+        &mut rng,
+    )
+    .expect("stream");
+    let (co, _) =
+        coordinator::solve(&p, pts.clone(), 4, &ClarksonConfig::lean(3), &mut rng).expect("coord");
+    let (mp, _) = mpc::solve(&p, pts.clone(), &MpcConfig::lean(0.4), &mut rng).expect("mpc");
+    for (name, sol) in [("stream", &st), ("coord", &co), ("mpc", &mp)] {
+        assert_eq!(count_violations(&p, sol, &pts), 0, "{name}");
+        assert!(close(p.objective_value(sol), v_direct, 1e-5), "{name}");
+    }
+}
+
+#[test]
+fn meb_all_models_match_radius() {
+    let d = 3;
+    let mut rng = StdRng::seed_from_u64(300);
+    let pts = lodim_lp::workloads::sphere_shell(N, d, 2.0, &mut rng);
+    let p = MebProblem::new(d);
+    let direct = p.solve_subset(&pts, &mut rng).expect("solvable");
+
+    let (st, _) = streaming::solve(
+        &p,
+        &pts,
+        &ClarksonConfig::lean(3),
+        SamplingMode::TwoPassIid,
+        &mut rng,
+    )
+    .expect("stream");
+    let (co, _) =
+        coordinator::solve(&p, pts.clone(), 4, &ClarksonConfig::lean(3), &mut rng).expect("coord");
+    let (mp, _) = mpc::solve(&p, pts.clone(), &MpcConfig::lean(0.4), &mut rng).expect("mpc");
+    for (name, sol) in [("stream", &st), ("coord", &co), ("mpc", &mp)] {
+        assert_eq!(count_violations(&p, sol, &pts), 0, "{name}");
+        assert!(close(sol.radius, direct.radius, 1e-6), "{name} radius {}", sol.radius);
+        assert!(sol.radius <= 2.0 + 1e-6, "{name} exceeds planted sphere");
+    }
+}
+
+#[test]
+fn chebyshev_regression_streams_to_noise_level() {
+    let mut rng = StdRng::seed_from_u64(400);
+    let (p, cs, w_star) = lodim_lp::workloads::chebyshev_regression(N, 2, 0.02, &mut rng);
+    let (sol, stats) = streaming::solve(
+        &p,
+        &cs,
+        &ClarksonConfig::lean(3),
+        SamplingMode::TwoPassIid,
+        &mut rng,
+    )
+    .expect("feasible");
+    assert!(sol[2] <= 0.02 + 1e-6, "residual above noise: {}", sol[2]);
+    for i in 0..2 {
+        assert!((sol[i] - w_star[i]).abs() < 0.05);
+    }
+    assert!(stats.passes >= 2);
+}
+
+#[test]
+fn infeasible_lp_detected_in_every_model() {
+    use lodim_lp::geom::Halfspace;
+    let p = lodim_lp::core::instances::lp::LpProblem::new(vec![1.0, 0.0]);
+    let mut cs = vec![
+        Halfspace::new(vec![1.0, 0.0], 0.0),   // x ≤ 0
+        Halfspace::new(vec![-1.0, 0.0], -1.0), // x ≥ 1 — conflict
+        Halfspace::new(vec![-1.0, 0.0], 1.0),  // x ≥ -1: keeps subsets bounded
+        Halfspace::new(vec![0.0, -1.0], 1.0),  // y ≥ -1
+    ];
+    for k in 0..2000 {
+        cs.push(Halfspace::new(vec![0.0, 1.0], 1.0 + k as f64));
+    }
+    let mut rng = StdRng::seed_from_u64(500);
+    let cfg = ClarksonConfig::lean(2);
+    assert!(matches!(
+        streaming::solve(&p, &cs, &cfg, SamplingMode::TwoPassIid, &mut rng),
+        Err(lodim_lp::bigdata::BigDataError::Infeasible)
+    ));
+    assert!(matches!(
+        coordinator::solve(&p, cs.clone(), 4, &cfg, &mut rng),
+        Err(lodim_lp::bigdata::BigDataError::Infeasible)
+    ));
+    assert!(matches!(
+        mpc::solve(&p, cs.clone(), &MpcConfig::lean(0.4), &mut rng),
+        Err(lodim_lp::bigdata::BigDataError::Infeasible)
+    ));
+}

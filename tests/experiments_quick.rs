@@ -1,0 +1,120 @@
+//! Integration: every experiment of the harness runs in quick mode and
+//! its correctness-bearing columns hold.
+
+use llp_bench as bench;
+
+fn col<'a>(t: &'a bench::Table, name: &str) -> usize {
+    t.headers
+        .iter()
+        .position(|h| h == name)
+        .unwrap_or_else(|| panic!("column {name} missing from {:?}", t.headers))
+}
+
+#[test]
+fn all_experiments_produce_rows() {
+    for id in bench::ALL {
+        let tables = bench::run(id, true);
+        for t in &tables {
+            assert!(!t.rows.is_empty(), "{id} produced an empty table");
+            assert!(!t.render().is_empty());
+        }
+    }
+}
+
+#[test]
+fn t1_iterations_within_twice_bound() {
+    let t = bench::t1_meta_iterations(true);
+    let (ci, cb) = (col(&t, "iters"), col(&t, "bound"));
+    for row in &t.rows {
+        let iters: f64 = row[ci].parse().unwrap();
+        let bound: f64 = row[cb].parse().unwrap();
+        assert!(iters <= 2.0 * bound + 4.0, "iterations {iters} vs bound {bound}");
+    }
+}
+
+#[test]
+fn t10_envelope_always_ok() {
+    let t = bench::t10_weight_envelope(true);
+    let ok = col(&t, "ok");
+    for row in &t.rows {
+        // A sentinel row appears if every seed converged without weight
+        // updates; the envelope must never be reported violated.
+        assert_ne!(row[ok], "false", "weight envelope violated: {row:?}");
+    }
+}
+
+#[test]
+fn t11_reduction_always_correct() {
+    let t = bench::t11_augindex(true);
+    let (cc, cr, cv) = (col(&t, "cases"), col(&t, "correct"), col(&t, "valid_instances"));
+    for row in &t.rows {
+        assert_eq!(row[cc], row[cr], "some bits decoded wrong: {row:?}");
+        assert_eq!(row[cc], row[cv], "some instances invalid: {row:?}");
+    }
+}
+
+#[test]
+fn f1_lp_reduction_always_matches() {
+    let t = bench::f1_tci_lp(true);
+    let cm = col(&t, "match");
+    for row in &t.rows {
+        assert_eq!(row[cm], "true", "LP reduction mismatch: {row:?}");
+    }
+}
+
+#[test]
+fn f2_hard_instances_always_valid() {
+    let t = bench::f2_hard_distribution(true);
+    let (cv, ca) = (col(&t, "valid"), col(&t, "ans_ok"));
+    for row in &t.rows {
+        let (num, den) = row[cv].split_once('/').unwrap();
+        assert_eq!(num, den, "invalid hard instances: {row:?}");
+        let (num, den) = row[ca].split_once('/').unwrap();
+        assert_eq!(num, den, "answer escaped the special block: {row:?}");
+    }
+}
+
+#[test]
+fn t12_protocol_bits_decrease_with_r() {
+    let t = bench::t12_protocol_scaling(true);
+    let (cn, cr, cb) = (col(&t, "n"), col(&t, "r"), col(&t, "bits"));
+    // Group rows by n; bits must be non-increasing in r.
+    let mut last: Option<(String, u64)> = None;
+    for row in &t.rows {
+        let n = row[cn].clone();
+        let bits: u64 = row[cb].parse().unwrap();
+        if let Some((ln, lb)) = &last {
+            if *ln == n {
+                assert!(bits <= *lb, "bits increased with r at n={n}: {row:?}");
+            }
+        }
+        let _r: u32 = row[cr].parse().unwrap();
+        last = Some((n, bits));
+    }
+}
+
+#[test]
+fn t2_streaming_space_shrinks_with_r() {
+    let t = bench::t2_streaming(true);
+    let (cd, cr, cm, ck) =
+        (col(&t, "d"), col(&t, "r"), col(&t, "mode"), col(&t, "peak_KB"));
+    // Within each (d, mode) group, peak space at r=4 is below r=1.
+    use std::collections::HashMap;
+    let mut groups: HashMap<(String, String), Vec<(u32, f64)>> = HashMap::new();
+    for row in &t.rows {
+        let kb: f64 = row[ck].replace("e3", "e3").parse().unwrap_or_else(|_| {
+            row[ck].parse::<f64>().unwrap_or(f64::NAN)
+        });
+        groups
+            .entry((row[cd].clone(), row[cm].clone()))
+            .or_default()
+            .push((row[cr].parse().unwrap(), kb));
+    }
+    for ((d, mode), series) in groups {
+        let r1 = series.iter().find(|(r, _)| *r == 1).map(|(_, v)| *v);
+        let r4 = series.iter().find(|(r, _)| *r == 4).map(|(_, v)| *v);
+        if let (Some(a), Some(b)) = (r1, r4) {
+            assert!(b < a, "space did not shrink (d={d}, mode={mode}): r1={a} r4={b}");
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Cross-crate property-based tests: randomized inputs, full-pipeline
+//! invariants.
+
+use lodim_lp::bigdata::streaming::{self, SamplingMode};
+use lodim_lp::core::clarkson::ClarksonConfig;
+use lodim_lp::core::lptype::{count_violations, LpTypeProblem};
+use lodim_lp::lowerbound::{augindex, reduction};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Streaming Algorithm 1 returns a feasible solution matching the
+    /// direct solver's objective on random bounded-feasible LPs of any
+    /// small dimension and size.
+    #[test]
+    fn prop_streaming_lp_feasible_and_optimal(
+        seed in 0u64..10_000,
+        d in 2usize..5,
+        n in 200usize..3000,
+        r in 1u32..4,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (p, cs) = lodim_lp::workloads::random_lp(n, d, &mut rng);
+        let (sol, _) = streaming::solve(
+            &p, &cs, &ClarksonConfig::lean(r), SamplingMode::TwoPassIid, &mut rng,
+        ).expect("feasible");
+        prop_assert_eq!(count_violations(&p, &sol, &cs), 0);
+        let direct = p.solve_subset(&cs, &mut rng).expect("feasible");
+        let (v1, v2) = (p.objective_value(&sol), p.objective_value(&direct));
+        prop_assert!((v1 - v2).abs() < 1e-4 * v1.abs().max(1.0), "{} vs {}", v1, v2);
+    }
+
+    /// The LP-type monotonicity property: adding constraints never
+    /// improves the optimum.
+    #[test]
+    fn prop_lp_monotonicity(seed in 0u64..10_000, n in 50usize..400) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (p, cs) = lodim_lp::workloads::random_lp(n, 3, &mut rng);
+        let half = p.solve_subset(&cs[..n / 2], &mut rng).expect("feasible");
+        let full = p.solve_subset(&cs, &mut rng).expect("feasible");
+        prop_assert!(
+            p.objective_value(&full) >= p.objective_value(&half) - 1e-6,
+            "monotonicity: {} then {}",
+            p.objective_value(&half),
+            p.objective_value(&full)
+        );
+    }
+
+    /// The Aug-Index reduction decodes the planted bit for arbitrary bit
+    /// strings, indices, and steepness.
+    #[test]
+    fn prop_augindex_roundtrip(
+        bits in proptest::collection::vec(0u8..2, 2..128),
+        pick in 0usize..1000,
+        steep in 1i128..100_000,
+    ) {
+        let i_star = pick % bits.len() + 1;
+        let n = bits.len() + 1;
+        let inst = augindex::build_instance(
+            &bits,
+            i_star,
+            lodim_lp::num::Rat::from_int(steep + 2 * n as i128),
+        );
+        prop_assert_eq!(inst.validate(), Ok(()));
+        prop_assert_eq!(augindex::decode(inst.answer_scan(), i_star), bits[i_star - 1]);
+        // And the exact LP reduction agrees with the scan.
+        let mut rng = StdRng::seed_from_u64(7);
+        prop_assert_eq!(reduction::answer_via_lp(&inst, &mut rng), inst.answer_scan());
+    }
+
+    /// MEB monotonicity + optimality: the streamed ball encloses all
+    /// points and matches the direct Welzl radius.
+    #[test]
+    fn prop_meb_streaming(seed in 0u64..10_000, n in 100usize..2000, d in 2usize..4) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pts = lodim_lp::workloads::ball_cloud(n, d, 3.0, &mut rng);
+        let p = lodim_lp::core::instances::meb::MebProblem::new(d);
+        let (ball, _) = streaming::solve(
+            &p, &pts, &ClarksonConfig::lean(2), SamplingMode::OnePassSpeculative, &mut rng,
+        ).expect("solvable");
+        prop_assert_eq!(count_violations(&p, &ball, &pts), 0);
+        let direct = p.solve_subset(&pts, &mut rng).expect("solvable");
+        prop_assert!((ball.radius - direct.radius).abs() < 1e-5 * direct.radius.max(1.0));
+    }
+}
