@@ -64,7 +64,9 @@ pub fn minimize_envelope(lines: &[Line], x_lo: f64, x_hi: f64, r: u32) -> ChanCh
     // vertex is confirmed.
     for _pass in 0..(r + 30) {
         // Evaluate g at t+1 grid points in one pass.
-        let grid: Vec<f64> = (0..=t).map(|j| lo + (hi - lo) * j as f64 / t as f64).collect();
+        let grid: Vec<f64> = (0..=t)
+            .map(|j| lo + (hi - lo) * j as f64 / t as f64)
+            .collect();
         let mut vals = vec![f64::NEG_INFINITY; grid.len()];
         // Track the envelope-achieving line at both interval endpoints.
         let mut line_lo: Option<Line> = None;
@@ -126,7 +128,12 @@ pub fn minimize_envelope(lines: &[Line], x_lo: f64, x_hi: f64, r: u32) -> ChanCh
     for line in session.pass() {
         y = y.max(line.at(x));
     }
-    ChanChenResult { x, y, passes: session.passes(), peak_items: session.space.peak_items() }
+    ChanChenResult {
+        x,
+        y,
+        passes: session.passes(),
+        peak_items: session.space.peak_items(),
+    }
 }
 
 /// The published pass bound `O(r^{d-1})` of [13], used in comparison
@@ -144,8 +151,14 @@ mod tests {
     #[test]
     fn two_lines_vertex() {
         let lines = vec![
-            Line { slope: -1.0, intercept: 0.0 },
-            Line { slope: 1.0, intercept: -2.0 },
+            Line {
+                slope: -1.0,
+                intercept: 0.0,
+            },
+            Line {
+                slope: 1.0,
+                intercept: -2.0,
+            },
         ];
         let res = minimize_envelope(&lines, -10.0, 10.0, 2);
         assert!((res.x - 1.0).abs() < 1e-9, "{res:?}");

@@ -7,10 +7,10 @@
 //! packages the fixed-factor configuration so benches can compare the two
 //! rates on identical inputs (experiment T8).
 
-use llp_core::clarkson::{ClarksonConfig, FailurePolicy, WeightFactor};
-use llp_core::lptype::LpTypeProblem;
 use llp_bigdata::streaming::{self, SamplingMode, StreamingStats};
 use llp_bigdata::BigDataError;
+use llp_core::clarkson::{ClarksonConfig, FailurePolicy, WeightFactor};
+use llp_core::lptype::LpTypeProblem;
 use rand::Rng;
 
 /// The classic configuration: weight factor 2, otherwise identical to the

@@ -52,5 +52,10 @@ fn bench_lp_reduction(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_hard_sampling, bench_protocols, bench_lp_reduction);
+criterion_group!(
+    benches,
+    bench_hard_sampling,
+    bench_protocols,
+    bench_lp_reduction
+);
 criterion_main!(benches);

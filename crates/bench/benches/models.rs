@@ -93,5 +93,11 @@ fn bench_mpc(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ram_meta, bench_streaming, bench_coordinator, bench_mpc);
+criterion_group!(
+    benches,
+    bench_ram_meta,
+    bench_streaming,
+    bench_coordinator,
+    bench_mpc
+);
 criterion_main!(benches);

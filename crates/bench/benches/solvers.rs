@@ -47,7 +47,12 @@ fn bench_lexico(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new("lex_min", d), |b| {
             b.iter(|| {
                 let mut r = StdRng::seed_from_u64(4);
-                black_box(lex_min_optimum(&cs, &p.objective, &SeidelConfig::default(), &mut r))
+                black_box(lex_min_optimum(
+                    &cs,
+                    &p.objective,
+                    &SeidelConfig::default(),
+                    &mut r,
+                ))
             })
         });
     }
@@ -85,5 +90,11 @@ fn bench_svm_qp(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_seidel, bench_lexico, bench_welzl, bench_svm_qp);
+criterion_group!(
+    benches,
+    bench_seidel,
+    bench_lexico,
+    bench_welzl,
+    bench_svm_qp
+);
 criterion_main!(benches);

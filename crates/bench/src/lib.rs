@@ -112,7 +112,7 @@ fn f(v: f64) -> String {
     }
 }
 
-/// Counts violations in parallel across worker threads (crossbeam scoped
+/// Counts violations in parallel across worker threads (std scoped
 /// threads) — keeps the large-`n` experiments responsive.
 pub fn par_count_violations<P: LpTypeProblem + Sync>(
     problem: &P,
@@ -122,21 +122,28 @@ pub fn par_count_violations<P: LpTypeProblem + Sync>(
 where
     P::Solution: Sync,
 {
-    let threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(4).min(16);
+    let threads = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(4)
+        .min(16);
     if constraints.len() < 10_000 || threads <= 1 {
         return count_violations(problem, solution, constraints);
     }
     let chunk = constraints.len().div_ceil(threads);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for part in constraints.chunks(chunk) {
-            handles.push(scope.spawn(move |_| {
-                part.iter().filter(|c| problem.violates(solution, c)).count()
+            handles.push(scope.spawn(move || {
+                part.iter()
+                    .filter(|c| problem.violates(solution, c))
+                    .count()
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).sum()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .sum()
     })
-    .expect("scope panicked")
 }
 
 // --------------------------------------------------------------------
@@ -149,19 +156,21 @@ pub fn t1_meta_iterations(quick: bool) -> Table {
         "T1  Algorithm 1 iterations vs Lemma 3.3 bound 20*nu*r/9 (random LP)",
         &["n", "d", "r", "iters", "succ", "bound", "succ_rate"],
     );
-    let ns: &[usize] = if quick { &[20_000] } else { &[100_000, 1_000_000] };
+    let ns: &[usize] = if quick {
+        &[20_000]
+    } else {
+        &[100_000, 1_000_000]
+    };
     for &n in ns {
         for d in [2usize, 3, 4] {
             for r in [1u32, 2, 4] {
                 let mut rng = StdRng::seed_from_u64(1000 + d as u64 + u64::from(r));
                 let (p, cs) = llp_workloads::random_lp(n, d, &mut rng);
-                let (_, stats) =
-                    llp_core::clarkson_solve(&p, &cs, &experiment_config(r), &mut rng)
-                        .expect("solvable");
+                let (_, stats) = llp_core::clarkson_solve(&p, &cs, &experiment_config(r), &mut rng)
+                    .expect("solvable");
                 let nu = p.combinatorial_dim();
                 let bound = 20.0 * nu as f64 * f64::from(r) / 9.0;
-                let succ_rate =
-                    (stats.successful_iterations + 1) as f64 / stats.iterations as f64;
+                let succ_rate = (stats.successful_iterations + 1) as f64 / stats.iterations as f64;
                 t.push(vec![
                     n.to_string(),
                     d.to_string(),
@@ -185,7 +194,17 @@ pub fn t1_meta_iterations(quick: bool) -> Table {
 pub fn t2_streaming(quick: bool) -> Table {
     let mut t = Table::new(
         "T2  Streaming: passes & peak space vs r (Theorem 1, space ~ n^(1/r))",
-        &["n", "d", "r", "mode", "passes", "iters", "net", "peak_KB", "KB/n^(1/r)"],
+        &[
+            "n",
+            "d",
+            "r",
+            "mode",
+            "passes",
+            "iters",
+            "net",
+            "peak_KB",
+            "KB/n^(1/r)",
+        ],
     );
     let n = if quick { 50_000 } else { 1_000_000 };
     for d in [2usize, 3] {
@@ -227,7 +246,9 @@ pub fn t2_streaming(quick: bool) -> Table {
 pub fn t3_coordinator(quick: bool) -> Table {
     let mut t = Table::new(
         "T3  Coordinator: rounds & communication vs r, k (Theorem 2)",
-        &["n", "r", "k", "rounds", "iters", "comm_KB", "KB_up", "KB_down"],
+        &[
+            "n", "r", "k", "rounds", "iters", "comm_KB", "KB_up", "KB_down",
+        ],
     );
     let n = if quick { 50_000 } else { 1_000_000 };
     for r in [1u32, 2, 4] {
@@ -261,15 +282,23 @@ pub fn t3_coordinator(quick: bool) -> Table {
 pub fn t4_mpc(quick: bool) -> Table {
     let mut t = Table::new(
         "T4  MPC: rounds & per-machine load vs delta (Theorem 3, load ~ n^delta)",
-        &["n", "delta", "k", "fanout", "rounds", "iters", "load_KB", "KB/n^delta"],
+        &[
+            "n",
+            "delta",
+            "k",
+            "fanout",
+            "rounds",
+            "iters",
+            "load_KB",
+            "KB/n^delta",
+        ],
     );
     let n = if quick { 50_000 } else { 1_000_000 };
     for delta in [0.25f64, 1.0 / 3.0, 0.5] {
         let mut rng = StdRng::seed_from_u64(4000 + (delta * 100.0) as u64);
         let (p, cs) = llp_workloads::random_lp(n, 2, &mut rng);
-        let (sol, stats) =
-            mpc_impl::solve(&p, cs.clone(), &experiment_mpc_config(delta), &mut rng)
-                .expect("solvable");
+        let (sol, stats) = mpc_impl::solve(&p, cs.clone(), &experiment_mpc_config(delta), &mut rng)
+            .expect("solvable");
         assert_eq!(par_count_violations(&p, &sol, &cs), 0);
         let load_kb = stats.max_load_bits as f64 / 8192.0;
         let pow = (n as f64).powf(delta);
@@ -368,7 +397,15 @@ pub fn t5_baselines(quick: bool) -> Table {
 pub fn t6_svm(quick: bool) -> Table {
     let mut t = Table::new(
         "T6  Linear SVM across models (Theorem 5)",
-        &["model", "n", "d", "passes/rounds", "space_KB/comm_KB/load_KB", "norm(u)^2", "viol"],
+        &[
+            "model",
+            "n",
+            "d",
+            "passes/rounds",
+            "space_KB/comm_KB/load_KB",
+            "norm(u)^2",
+            "viol",
+        ],
     );
     let n = if quick { 20_000 } else { 200_000 };
     for d in [2usize, 3] {
@@ -425,7 +462,15 @@ pub fn t6_svm(quick: bool) -> Table {
 pub fn t7_meb(quick: bool) -> Table {
     let mut t = Table::new(
         "T7  MEB / Core Vector Machine across models (Theorem 6)",
-        &["model", "n", "d", "passes/rounds", "space_KB/comm_KB/load_KB", "radius", "viol"],
+        &[
+            "model",
+            "n",
+            "d",
+            "passes/rounds",
+            "space_KB/comm_KB/load_KB",
+            "radius",
+            "viol",
+        ],
     );
     let n = if quick { 20_000 } else { 200_000 };
     for d in [2usize, 3] {
@@ -514,7 +559,11 @@ pub fn t8_ablation(quick: bool) -> Table {
     run("2 (classic)", WeightFactor::Fixed(2.0), &mut t);
     run("8", WeightFactor::Fixed(8.0), &mut t);
     run("n^(1/4)", WeightFactor::NthRoot { r: 4 }, &mut t);
-    run("n^(1/2) (paper r=2)", WeightFactor::NthRoot { r: 2 }, &mut t);
+    run(
+        "n^(1/2) (paper r=2)",
+        WeightFactor::NthRoot { r: 2 },
+        &mut t,
+    );
     run("n (paper r=1)", WeightFactor::NthRoot { r: 1 }, &mut t);
     t
 }
@@ -559,7 +608,10 @@ pub fn t9_epsnet(quick: bool) -> Table {
     for mult in [1.0f64, 1.0 / 16.0, 1.0 / 256.0, 1.0 / 1024.0, 1.0 / 4096.0] {
         run(
             f(mult),
-            ClarksonConfig { net_multiplier: mult, ..ClarksonConfig::paper(2) },
+            ClarksonConfig {
+                net_multiplier: mult,
+                ..ClarksonConfig::paper(2)
+            },
             &mut t,
         );
     }
@@ -632,7 +684,11 @@ pub fn t11_augindex(quick: bool) -> Table {
         "T11  Aug-Index -> TCI reduction (Lemma 5.6): decoded-bit correctness",
         &["n", "cases", "correct", "valid_instances"],
     );
-    let sizes: &[usize] = if quick { &[8, 32, 256] } else { &[8, 32, 256, 2048] };
+    let sizes: &[usize] = if quick {
+        &[8, 32, 256]
+    } else {
+        &[8, 32, 256, 2048]
+    };
     for &n in sizes {
         let mut cases = 0usize;
         let mut correct = 0usize;
@@ -689,7 +745,11 @@ pub fn t12_protocol_scaling(quick: bool) -> Table {
         "T12  TCI r-round protocol bits vs lower bound (Theorem 7)",
         &["n", "r", "bits", "bits/(r*n^(1/r))", "LB n^(1/r)/r^2"],
     );
-    let exps: &[u32] = if quick { &[10, 12] } else { &[10, 12, 14, 16, 18] };
+    let exps: &[u32] = if quick {
+        &[10, 12]
+    } else {
+        &[10, 12, 14, 16, 18]
+    };
     for &e in exps {
         let n = 1usize << e;
         let x: Vec<u8> = (0..n - 1).map(|i| ((i * 13 + 5) % 2) as u8).collect();
@@ -739,7 +799,11 @@ pub fn f1_tci_lp(quick: bool) -> Table {
             (scan == lp).to_string(),
         ]);
     }
-    let sizes: &[usize] = if quick { &[16, 64] } else { &[16, 64, 256, 1024] };
+    let sizes: &[usize] = if quick {
+        &[16, 64]
+    } else {
+        &[16, 64, 256, 1024]
+    };
     for &n in sizes {
         use rand::Rng;
         let x: Vec<u8> = (0..n - 1).map(|_| u8::from(rng.random_bool(0.5))).collect();
@@ -767,10 +831,22 @@ pub fn f1_tci_lp(quick: bool) -> Table {
 pub fn f2_hard_distribution(quick: bool) -> Table {
     let mut t = Table::new(
         "F2  Hard distribution D_r (Figure 2): validity, answer embedding, protocol cost",
-        &["N", "r", "n=N^r", "valid", "ans_ok", "max_slope", "proto_bits(r)", "LB N/r^2"],
+        &[
+            "N",
+            "r",
+            "n=N^r",
+            "valid",
+            "ans_ok",
+            "max_slope",
+            "proto_bits(r)",
+            "LB N/r^2",
+        ],
     );
-    let configs: &[(usize, u32)] =
-        if quick { &[(8, 1), (8, 2)] } else { &[(16, 1), (16, 2), (8, 3), (6, 4)] };
+    let configs: &[(usize, u32)] = if quick {
+        &[(8, 1), (8, 2)]
+    } else {
+        &[(16, 1), (16, 2), (8, 3), (6, 4)]
+    };
     for &(n_base, rounds) in configs {
         let params = hard::HardParams { n_base, rounds };
         let trials = if quick { 5 } else { 20 };
@@ -817,8 +893,11 @@ pub fn t13_scaling(quick: bool) -> Table {
         "T13  Wall-clock scaling of the streaming solver (r=2)",
         &["n", "time_ms", "ns_per_constraint"],
     );
-    let sizes: &[usize] =
-        if quick { &[10_000, 40_000] } else { &[10_000, 100_000, 1_000_000, 4_000_000] };
+    let sizes: &[usize] = if quick {
+        &[10_000, 40_000]
+    } else {
+        &[10_000, 100_000, 1_000_000, 4_000_000]
+    };
     for &n in sizes {
         let mut rng = StdRng::seed_from_u64(14_000);
         let (p, cs) = llp_workloads::random_lp(n, 2, &mut rng);

@@ -24,7 +24,10 @@ impl<P: LpTypeProblem> WeightOracle<P> {
     /// An empty history with the given factor.
     pub fn new(factor: f64) -> Self {
         assert!(factor > 1.0, "weight factor must exceed 1");
-        WeightOracle { bases: Vec::new(), factor }
+        WeightOracle {
+            bases: Vec::new(),
+            factor,
+        }
     }
 
     /// The weight factor.
@@ -84,17 +87,18 @@ pub struct RunParams {
 impl RunParams {
     /// Derives the parameters of Algorithm 1 for a problem with `n`
     /// constraints from a [`ClarksonConfig`](llp_core::ClarksonConfig).
-    pub fn derive<P: LpTypeProblem>(
-        problem: &P,
-        n: usize,
-        cfg: &llp_core::ClarksonConfig,
-    ) -> Self {
+    pub fn derive<P: LpTypeProblem>(problem: &P, n: usize, cfg: &llp_core::ClarksonConfig) -> Self {
         let nu = problem.combinatorial_dim();
         let lambda = problem.vc_dim();
         let factor = cfg.factor.value(n);
         let eps = 1.0 / (10.0 * nu as f64 * factor);
         let net_size = cfg.net_size(n, nu, lambda);
-        RunParams { factor, eps, net_size, max_iterations: cfg.max_iterations }
+        RunParams {
+            factor,
+            eps,
+            net_size,
+            max_iterations: cfg.max_iterations,
+        }
     }
 }
 
@@ -123,8 +127,9 @@ mod tests {
     fn total_weight_starts_at_n() {
         let p = LpProblem::new(vec![1.0, 1.0]);
         let oracle: WeightOracle<LpProblem> = WeightOracle::new(7.0);
-        let cs: Vec<Halfspace> =
-            (0..50).map(|i| Halfspace::new(vec![1.0, 0.0], i as f64)).collect();
+        let cs: Vec<Halfspace> = (0..50)
+            .map(|i| Halfspace::new(vec![1.0, 0.0], i as f64))
+            .collect();
         let total = oracle.total_weight(&p, &cs);
         assert!((total.to_f64() - 50.0).abs() < 1e-9);
     }

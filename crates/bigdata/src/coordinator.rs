@@ -106,7 +106,9 @@ pub fn solve<P: LpTypeProblem, R: Rng>(
             // everything (a trivially valid net).
             for i in 0..k {
                 sim.charge_down(&0u64);
-                sim.charge_up(&RawBits(sim.site(i).len() as u64 * problem.constraint_bits()));
+                sim.charge_up(&RawBits(
+                    sim.site(i).len() as u64 * problem.constraint_bits(),
+                ));
                 net.extend_from_slice(sim.site(i));
             }
         } else {
@@ -119,15 +121,16 @@ pub fn solve<P: LpTypeProblem, R: Rng>(
                 if counts[i] == 0 {
                     continue;
                 }
-                let sampled =
-                    sample_local(problem, &oracle, sim.site(i), counts[i] as usize, rng);
+                let sampled = sample_local(problem, &oracle, sim.site(i), counts[i] as usize, rng);
                 sim.charge_up(&RawBits(sampled.len() as u64 * problem.constraint_bits()));
                 net.extend(sampled);
             }
         }
 
         // ---- Coordinator computes the basis locally. ----
-        let solution = problem.solve_subset(&net, rng).map_err(BigDataError::from)?;
+        let solution = problem
+            .solve_subset(&net, rng)
+            .map_err(BigDataError::from)?;
 
         // ---- Round 3: basis down, violator weights up. ----
         sim.begin_round();
@@ -246,7 +249,8 @@ mod tests {
     fn solves_with_three_rounds_per_iteration() {
         let (p, cs) = random_lp(4000, 2, 51);
         let mut rng = StdRng::seed_from_u64(52);
-        let (sol, stats) = solve(&p, cs.clone(), 4, &ClarksonConfig::calibrated(2), &mut rng).unwrap();
+        let (sol, stats) =
+            solve(&p, cs.clone(), 4, &ClarksonConfig::calibrated(2), &mut rng).unwrap();
         assert_eq!(count_violations(&p, &sol, &cs), 0);
         assert_eq!(stats.rounds as usize, 3 * stats.iterations);
         assert!(stats.total_bits > 0);

@@ -190,8 +190,9 @@ pub fn solve<P: LpTypeProblem, R: Rng>(
         }
 
         // ---- Subtree weights converge-cast (128 bits per edge). ----
-        let local_weights: Vec<ScaledF64> =
-            (0..k).map(|i| oracle.total_weight(problem, sim.machine(i))).collect();
+        let local_weights: Vec<ScaledF64> = (0..k)
+            .map(|i| oracle.total_weight(problem, sim.machine(i)))
+            .collect();
         let subtree_weights = converge_sum(&mut sim, &tree, depth, &local_weights, 128);
         let total_weight = subtree_weights[0];
 
@@ -202,7 +203,15 @@ pub fn solve<P: LpTypeProblem, R: Rng>(
         let counts: Vec<u64> = if take_all {
             (0..k).map(|i| sim.machine(i).len() as u64).collect()
         } else {
-            split_counts(&mut sim, &tree, depth, params.net_size as u64, &local_weights, &subtree_weights, rng)
+            split_counts(
+                &mut sim,
+                &tree,
+                depth,
+                params.net_size as u64,
+                &local_weights,
+                &subtree_weights,
+                rng,
+            )
         };
 
         // ---- Samples to the root (one direct round). ----
@@ -218,14 +227,20 @@ pub fn solve<P: LpTypeProblem, R: Rng>(
                 sample_local(problem, &oracle, sim.machine(i), counts[i] as usize, rng)
             };
             if i != 0 {
-                sim.charge(i, 0, &RawBits(sampled.len() as u64 * problem.constraint_bits()));
+                sim.charge(
+                    i,
+                    0,
+                    &RawBits(sampled.len() as u64 * problem.constraint_bits()),
+                );
             }
             net.extend(sampled);
         }
         sim.end_round();
 
         // ---- Root computes the basis. ----
-        let solution = problem.solve_subset(&net, rng).map_err(BigDataError::from)?;
+        let solution = problem
+            .solve_subset(&net, rng)
+            .map_err(BigDataError::from)?;
 
         // ---- Basis broadcast down the tree. ----
         broadcast_down(&mut sim, &tree, depth, problem.solution_bits());
@@ -338,7 +353,10 @@ fn split_counts<C, R: Rng>(
                 continue;
             }
             // Bins: own local weight + each child's subtree weight.
-            let children: Vec<usize> = tree.children(node).filter(|&ch| ch < k && ch != node).collect();
+            let children: Vec<usize> = tree
+                .children(node)
+                .filter(|&ch| ch < k && ch != node)
+                .collect();
             if children.is_empty() {
                 own_count[node] = c;
                 continue;
@@ -473,7 +491,10 @@ mod tests {
                 >= loose.rounds as f64 / loose.iterations as f64,
             "tight {tight:?} loose {loose:?}"
         );
-        assert!(tight.max_load_bits <= loose.max_load_bits * 4, "{tight:?} vs {loose:?}");
+        assert!(
+            tight.max_load_bits <= loose.max_load_bits * 4,
+            "{tight:?} vs {loose:?}"
+        );
     }
 
     #[test]
@@ -481,8 +502,8 @@ mod tests {
         let (p, cs) = random_lp(4000, 3, 95);
         let mut rng = StdRng::seed_from_u64(96);
         let (sol, _) = solve(&p, cs.clone(), &MpcConfig::calibrated(0.4), &mut rng).unwrap();
-        let (ram, _) = llp_core::clarkson_solve(&p, &cs, &ClarksonConfig::calibrated(2), &mut rng)
-            .unwrap();
+        let (ram, _) =
+            llp_core::clarkson_solve(&p, &cs, &ClarksonConfig::calibrated(2), &mut rng).unwrap();
         let (v1, v2) = (p.objective_value(&sol), p.objective_value(&ram));
         assert!((v1 - v2).abs() < 1e-5 * v1.abs().max(1.0), "{v1} vs {v2}");
     }

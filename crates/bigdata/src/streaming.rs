@@ -112,7 +112,9 @@ fn run_two_pass<P: LpTypeProblem, R: Rng>(
         } else {
             // Sorted uniform targets in [0, W); the sampler state is m
             // 128-bit scaled values.
-            session.space.alloc_raw(params.net_size as u64 * 128, params.net_size as u64);
+            session
+                .space
+                .alloc_raw(params.net_size as u64 * 128, params.net_size as u64);
             let mut sampler = SortedTargetSampler::new(params.net_size, total_weight, rng);
             for c in session.pass() {
                 let hits = sampler.feed(oracle.weight(problem, c));
@@ -121,12 +123,18 @@ fn run_two_pass<P: LpTypeProblem, R: Rng>(
                     net.push(c.clone());
                 }
             }
-            session.space.free_raw(params.net_size as u64 * 128, params.net_size as u64);
+            session
+                .space
+                .free_raw(params.net_size as u64 * 128, params.net_size as u64);
         }
 
         // ---- Basis of the net (local computation). ----
-        let solution = problem.solve_subset(&net, rng).map_err(BigDataError::from)?;
-        session.space.free_raw(net.len() as u64 * cbits, net.len() as u64);
+        let solution = problem
+            .solve_subset(&net, rng)
+            .map_err(BigDataError::from)?;
+        session
+            .space
+            .free_raw(net.len() as u64 * cbits, net.len() as u64);
         drop(net);
 
         // ---- Pass 2: violation test + exact new total weight. ----
@@ -185,7 +193,9 @@ fn run_one_pass<P: LpTypeProblem, R: Rng>(
     }
     let net = reservoir.into_items();
     stats.iterations += 1;
-    let mut pending = problem.solve_subset(&net, rng).map_err(BigDataError::from)?;
+    let mut pending = problem
+        .solve_subset(&net, rng)
+        .map_err(BigDataError::from)?;
     session.space.free_raw(reservoir_bits, m as u64);
     drop(net);
 
@@ -230,7 +240,9 @@ fn run_one_pass<P: LpTypeProblem, R: Rng>(
         };
 
         stats.iterations += 1;
-        pending = problem.solve_subset(&net, rng).map_err(BigDataError::from)?;
+        pending = problem
+            .solve_subset(&net, rng)
+            .map_err(BigDataError::from)?;
         session.space.free_raw(2 * reservoir_bits, 2 * m as u64);
     }
     Err(BigDataError::IterationLimit)
@@ -268,11 +280,20 @@ mod tests {
     fn two_pass_solves_and_counts_passes() {
         let (p, cs) = random_lp(4000, 2, 1);
         let mut rng = StdRng::seed_from_u64(2);
-        let (sol, stats) =
-            solve(&p, &cs, &ClarksonConfig::calibrated(2), SamplingMode::TwoPassIid, &mut rng)
-                .unwrap();
+        let (sol, stats) = solve(
+            &p,
+            &cs,
+            &ClarksonConfig::calibrated(2),
+            SamplingMode::TwoPassIid,
+            &mut rng,
+        )
+        .unwrap();
         assert_eq!(count_violations(&p, &sol, &cs), 0);
-        assert_eq!(stats.passes as usize, 2 * stats.iterations, "two passes per iteration");
+        assert_eq!(
+            stats.passes as usize,
+            2 * stats.iterations,
+            "two passes per iteration"
+        );
         assert!(stats.peak_space_bits > 0);
     }
 
@@ -291,18 +312,27 @@ mod tests {
         assert_eq!(count_violations(&p, &sol, &cs), 0);
         // One initial sampling pass, then exactly one combined pass per
         // iteration.
-        assert_eq!(stats.passes as usize, stats.iterations + 1, "one pass per iteration");
+        assert_eq!(
+            stats.passes as usize,
+            stats.iterations + 1,
+            "one pass per iteration"
+        );
     }
 
     #[test]
     fn agrees_with_ram_clarkson_objective() {
         let (p, cs) = random_lp(3000, 3, 5);
         let mut rng = StdRng::seed_from_u64(6);
-        let (sol, _) =
-            solve(&p, &cs, &ClarksonConfig::calibrated(2), SamplingMode::TwoPassIid, &mut rng)
-                .unwrap();
-        let (ram, _) = llp_core::clarkson_solve(&p, &cs, &ClarksonConfig::calibrated(2), &mut rng)
-            .unwrap();
+        let (sol, _) = solve(
+            &p,
+            &cs,
+            &ClarksonConfig::calibrated(2),
+            SamplingMode::TwoPassIid,
+            &mut rng,
+        )
+        .unwrap();
+        let (ram, _) =
+            llp_core::clarkson_solve(&p, &cs, &ClarksonConfig::calibrated(2), &mut rng).unwrap();
         let (v1, v2) = (p.objective_value(&sol), p.objective_value(&ram));
         assert!((v1 - v2).abs() < 1e-5 * v1.abs().max(1.0), "{v1} vs {v2}");
     }
@@ -312,12 +342,22 @@ mod tests {
         // Theorem 1: space ~ n^{1/r}; r = 1 vs r = 4 on the same input.
         let (p, cs) = random_lp(20_000, 2, 7);
         let mut rng = StdRng::seed_from_u64(8);
-        let (_, s1) =
-            solve(&p, &cs, &ClarksonConfig::calibrated(1), SamplingMode::TwoPassIid, &mut rng)
-                .unwrap();
-        let (_, s4) =
-            solve(&p, &cs, &ClarksonConfig::calibrated(4), SamplingMode::TwoPassIid, &mut rng)
-                .unwrap();
+        let (_, s1) = solve(
+            &p,
+            &cs,
+            &ClarksonConfig::calibrated(1),
+            SamplingMode::TwoPassIid,
+            &mut rng,
+        )
+        .unwrap();
+        let (_, s4) = solve(
+            &p,
+            &cs,
+            &ClarksonConfig::calibrated(4),
+            SamplingMode::TwoPassIid,
+            &mut rng,
+        )
+        .unwrap();
         assert!(
             s4.peak_space_bits < s1.peak_space_bits,
             "r=4 space {} should be below r=1 space {}",
@@ -332,12 +372,18 @@ mod tests {
     fn meb_streaming() {
         use rand::Rng;
         let mut r = StdRng::seed_from_u64(9);
-        let pts: Vec<Vec<f64>> =
-            (0..3000).map(|_| (0..3).map(|_| r.random_range(-4.0..4.0)).collect()).collect();
+        let pts: Vec<Vec<f64>> = (0..3000)
+            .map(|_| (0..3).map(|_| r.random_range(-4.0..4.0)).collect())
+            .collect();
         let p = MebProblem::new(3);
-        let (ball, _) =
-            solve(&p, &pts, &ClarksonConfig::calibrated(2), SamplingMode::OnePassSpeculative, &mut r)
-                .unwrap();
+        let (ball, _) = solve(
+            &p,
+            &pts,
+            &ClarksonConfig::calibrated(2),
+            SamplingMode::OnePassSpeculative,
+            &mut r,
+        )
+        .unwrap();
         assert_eq!(count_violations(&p, &ball, &pts), 0);
     }
 
@@ -353,9 +399,14 @@ mod tests {
             let sb = b.slack(&direct);
             sb.partial_cmp(&sa).unwrap()
         });
-        let (sol, _) =
-            solve(&p, &cs, &ClarksonConfig::calibrated(2), SamplingMode::TwoPassIid, &mut rng)
-                .unwrap();
+        let (sol, _) = solve(
+            &p,
+            &cs,
+            &ClarksonConfig::calibrated(2),
+            SamplingMode::TwoPassIid,
+            &mut rng,
+        )
+        .unwrap();
         assert_eq!(count_violations(&p, &sol, &cs), 0);
     }
 }

@@ -118,7 +118,10 @@ impl ClarksonConfig {
     /// `EpsNetSpec::calibrated` and experiment T9) — the default for
     /// benches on realistic input sizes.
     pub fn calibrated(r: u32) -> Self {
-        ClarksonConfig { net_multiplier: 1.0 / 16.0, ..Self::paper(r) }
+        ClarksonConfig {
+            net_multiplier: 1.0 / 16.0,
+            ..Self::paper(r)
+        }
     }
 
     /// The lean configuration: the Eq. (1) formula scaled far down, kept
@@ -316,7 +319,11 @@ mod tests {
         let (p, cs) = random_lp(2000, 3, 42);
         let mut r = rng(1);
         let (sol, stats) = solve(&p, &cs, &ClarksonConfig::calibrated(2), &mut r).unwrap();
-        assert_eq!(count_violations(&p, &sol, &cs), 0, "returned solution violates input");
+        assert_eq!(
+            count_violations(&p, &sol, &cs),
+            0,
+            "returned solution violates input"
+        );
         // Compare objective value against solving the whole input at once.
         let direct = p.solve_subset(&cs, &mut r).unwrap();
         let (v1, v2) = (p.objective_value(&sol), p.objective_value(&direct));
@@ -357,8 +364,14 @@ mod tests {
             let t = (idx + 1) as f64;
             let lower = t / (nu * f64::from(r_param)) * n.log2();
             let upper = t / (10.0 * nu) * std::f64::consts::E.log2() + n.log2();
-            assert!(log2w >= lower - 1e-6, "iteration {t}: log2 w = {log2w} < lower {lower}");
-            assert!(log2w <= upper + 1e-6, "iteration {t}: log2 w = {log2w} > upper {upper}");
+            assert!(
+                log2w >= lower - 1e-6,
+                "iteration {t}: log2 w = {log2w} < lower {lower}"
+            );
+            assert!(
+                log2w <= upper + 1e-6,
+                "iteration {t}: log2 w = {log2w} > upper {upper}"
+            );
         }
     }
 
@@ -413,8 +426,9 @@ mod tests {
     fn meb_end_to_end() {
         let mut r = rng(31);
         let d = 3;
-        let pts: Vec<Vec<f64>> =
-            (0..2000).map(|_| (0..d).map(|_| r.random_range(-5.0..5.0)).collect()).collect();
+        let pts: Vec<Vec<f64>> = (0..2000)
+            .map(|_| (0..d).map(|_| r.random_range(-5.0..5.0)).collect())
+            .collect();
         let p = MebProblem::new(d);
         let (ball, _) = solve(&p, &pts, &ClarksonConfig::calibrated(2), &mut r).unwrap();
         assert_eq!(count_violations(&p, &ball, &pts), 0);
@@ -470,6 +484,9 @@ mod tests {
             }
         }
         let rate = successes as f64 / total as f64;
-        assert!(rate >= 2.0 / 3.0, "empirical success rate {rate} below Claim 3.2 bound");
+        assert!(
+            rate >= 2.0 / 3.0,
+            "empirical success rate {rate} below Claim 3.2 bound"
+        );
     }
 }

@@ -31,7 +31,11 @@ impl LpProblem {
     /// A problem with default solver settings.
     pub fn new(objective: Vec<f64>) -> Self {
         assert!(!objective.is_empty(), "empty objective");
-        LpProblem { objective, solver: SeidelConfig::default(), violation_eps: 1e-7 }
+        LpProblem {
+            objective,
+            solver: SeidelConfig::default(),
+            violation_eps: 1e-7,
+        }
     }
 }
 

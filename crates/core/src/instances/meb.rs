@@ -22,7 +22,10 @@ impl MebProblem {
     /// A problem over `R^d`.
     pub fn new(dim: usize) -> Self {
         assert!(dim >= 1);
-        MebProblem { dim, violation_eps: 1e-7 }
+        MebProblem {
+            dim,
+            violation_eps: 1e-7,
+        }
     }
 }
 

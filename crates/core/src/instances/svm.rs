@@ -34,7 +34,11 @@ impl SvmProblem {
     /// A problem over `R^d` with default solver settings.
     pub fn new(dim: usize) -> Self {
         assert!(dim >= 1);
-        SvmProblem { dim, solver: SvmConfig::default(), violation_eps: 1e-6 }
+        SvmProblem {
+            dim,
+            solver: SvmConfig::default(),
+            violation_eps: 1e-6,
+        }
     }
 }
 
@@ -88,7 +92,13 @@ mod tests {
     #[test]
     fn solve_subset_and_violations() {
         let p = SvmProblem::new(1);
-        let pts = vec![SvmPoint { x: vec![2.0], y: 1 }, SvmPoint { x: vec![-2.0], y: -1 }];
+        let pts = vec![
+            SvmPoint { x: vec![2.0], y: 1 },
+            SvmPoint {
+                x: vec![-2.0],
+                y: -1,
+            },
+        ];
         let u = p.solve_subset(&pts, &mut rng()).unwrap();
         assert!((u[0] - 0.5).abs() < 1e-8);
         for c in &pts {
@@ -111,10 +121,19 @@ mod tests {
     fn inseparable_reports_infeasible() {
         let p = SvmProblem::new(2);
         let pts = vec![
-            SvmPoint { x: vec![1.0, 0.0], y: 1 },
-            SvmPoint { x: vec![1.0, 0.0], y: -1 },
+            SvmPoint {
+                x: vec![1.0, 0.0],
+                y: 1,
+            },
+            SvmPoint {
+                x: vec![1.0, 0.0],
+                y: -1,
+            },
         ];
-        assert_eq!(p.solve_subset(&pts, &mut rng()), Err(SolveError::Infeasible));
+        assert_eq!(
+            p.solve_subset(&pts, &mut rng()),
+            Err(SolveError::Infeasible)
+        );
     }
 
     #[test]
@@ -122,11 +141,20 @@ mod tests {
         // LP-type monotonicity: adding constraints cannot shrink ‖u‖².
         let p = SvmProblem::new(2);
         let mut pts = vec![
-            SvmPoint { x: vec![3.0, 0.0], y: 1 },
-            SvmPoint { x: vec![-3.0, 0.0], y: -1 },
+            SvmPoint {
+                x: vec![3.0, 0.0],
+                y: 1,
+            },
+            SvmPoint {
+                x: vec![-3.0, 0.0],
+                y: -1,
+            },
         ];
         let u1 = p.solve_subset(&pts, &mut rng()).unwrap();
-        pts.push(SvmPoint { x: vec![0.0, 1.5], y: 1 });
+        pts.push(SvmPoint {
+            x: vec![0.0, 1.5],
+            y: 1,
+        });
         let u2 = p.solve_subset(&pts, &mut rng()).unwrap();
         assert!(p.objective_value(&u2) >= p.objective_value(&u1) - 1e-9);
     }

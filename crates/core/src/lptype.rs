@@ -107,5 +107,8 @@ pub fn count_violations<P: LpTypeProblem>(
     solution: &P::Solution,
     constraints: &[P::Constraint],
 ) -> usize {
-    constraints.iter().filter(|c| problem.violates(solution, c)).count()
+    constraints
+        .iter()
+        .filter(|c| problem.violates(solution, c))
+        .count()
 }

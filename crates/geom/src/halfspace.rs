@@ -26,7 +26,10 @@ impl Halfspace {
     /// Panics if `a` is empty or contains non-finite entries.
     pub fn new(a: Vec<f64>, b: f64) -> Self {
         assert!(!a.is_empty(), "halfspace in zero dimensions");
-        assert!(a.iter().all(|v| v.is_finite()) && b.is_finite(), "non-finite halfspace");
+        assert!(
+            a.iter().all(|v| v.is_finite()) && b.is_finite(),
+            "non-finite halfspace"
+        );
         Halfspace { a, b }
     }
 
@@ -90,7 +93,10 @@ impl Halfspace {
         assert_eq!(other.dim(), d);
         assert!(var < d);
         let pivot = self.a[var];
-        assert!(pivot.abs() > 1e-300, "cannot eliminate on a zero coefficient");
+        assert!(
+            pivot.abs() > 1e-300,
+            "cannot eliminate on a zero coefficient"
+        );
         let scale = other.a[var] / pivot;
         let mut a = Vec::with_capacity(d - 1);
         for i in 0..d {

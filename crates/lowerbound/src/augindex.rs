@@ -94,7 +94,10 @@ mod tests {
         let i_star = 4;
         let inst1 = build_instance(&x1, i_star, default_steep(7));
         let inst2 = build_instance(&x2, i_star, default_steep(7));
-        assert_eq!(inst1.b, inst2.b, "Bob's curve must only depend on the prefix");
+        assert_eq!(
+            inst1.b, inst2.b,
+            "Bob's curve must only depend on the prefix"
+        );
     }
 
     proptest! {

@@ -76,7 +76,11 @@ pub fn sample<R: Rng + ?Sized>(params: &HardParams, rng: &mut R) -> HardInstance
     assert!(params.rounds >= 1, "need r >= 1");
     let steep = params.steep();
     let (inst, expected_answer, z_star) = instance(params.rounds, params.n_base, steep, rng);
-    HardInstance { inst, expected_answer, z_star }
+    HardInstance {
+        inst,
+        expected_answer,
+        z_star,
+    }
 }
 
 /// `Instance(r)` of Section 5.3.3.
@@ -87,7 +91,9 @@ fn instance<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> (TciInstance, usize, usize) {
     if r == 1 {
-        let bits: Vec<u8> = (0..n_base - 1).map(|_| u8::from(rng.random_bool(0.5))).collect();
+        let bits: Vec<u8> = (0..n_base - 1)
+            .map(|_| u8::from(rng.random_bool(0.5)))
+            .collect();
         let i_star = rng.random_range(1..=bits.len());
         let inst = augindex::build_instance(&bits, i_star, steep);
         let ans = inst.answer_scan();
@@ -101,7 +107,7 @@ fn instance<R: Rng + ?Sized>(
         })
         .collect();
     let z_star = rng.random_range(1..=m);
-    let (inst, ans) = if r % 2 == 0 {
+    let (inst, ans) = if r.is_multiple_of(2) {
         compose(&subs, z_star, RealCurve::Bob)
     } else {
         compose(&subs, z_star, RealCurve::Alice)
@@ -183,7 +189,7 @@ fn compose(subs: &[(TciInstance, usize)], z_star: usize, real: RealCurve) -> (Tc
             // Boundary increment between blocks i-1 and i, inside the
             // legal interval for the required monotonicity.
             let delta = match real {
-                RealCurve::Bob => extrema[i].1 + sigma[i],   // ≤ prev s_min+σ
+                RealCurve::Bob => extrema[i].1 + sigma[i], // ≤ prev s_min+σ
                 RealCurve::Alice => extrema[i - 1].1 + sigma[i - 1], // ≥ ... ≤ next s_min+σ
             };
             let prev_last = *real_vals.last().expect("non-empty");
@@ -218,7 +224,8 @@ fn compose(subs: &[(TciInstance, usize)], z_star: usize, real: RealCurve) -> (Tc
         } else if g < start + block_len {
             special_other[g - start]
         } else {
-            special_other[block_len - 1] + last_inc * Rat::from_int((g - start - block_len + 1) as i128)
+            special_other[block_len - 1]
+                + last_inc * Rat::from_int((g - start - block_len + 1) as i128)
         };
         other_vals.push(v);
     }
@@ -255,27 +262,54 @@ mod tests {
 
     #[test]
     fn base_r1_valid() {
-        check(HardParams { n_base: 16, rounds: 1 }, 0..20);
+        check(
+            HardParams {
+                n_base: 16,
+                rounds: 1,
+            },
+            0..20,
+        );
     }
 
     #[test]
     fn even_r2_valid_and_answer_preserved() {
-        check(HardParams { n_base: 8, rounds: 2 }, 0..20);
+        check(
+            HardParams {
+                n_base: 8,
+                rounds: 2,
+            },
+            0..20,
+        );
     }
 
     #[test]
     fn odd_r3_valid_and_answer_preserved() {
-        check(HardParams { n_base: 6, rounds: 3 }, 0..10);
+        check(
+            HardParams {
+                n_base: 6,
+                rounds: 3,
+            },
+            0..10,
+        );
     }
 
     #[test]
     fn r4_valid() {
-        check(HardParams { n_base: 4, rounds: 4 }, 0..5);
+        check(
+            HardParams {
+                n_base: 4,
+                rounds: 4,
+            },
+            0..5,
+        );
     }
 
     #[test]
     fn answer_lands_in_special_block() {
-        let params = HardParams { n_base: 8, rounds: 2 };
+        let params = HardParams {
+            n_base: 8,
+            rounds: 2,
+        };
         let mut rng = StdRng::seed_from_u64(99);
         for _ in 0..20 {
             let h = sample(&params, &mut rng);
@@ -292,9 +326,12 @@ mod tests {
 
     #[test]
     fn z_star_distribution_is_uniformish() {
-        let params = HardParams { n_base: 8, rounds: 2 };
+        let params = HardParams {
+            n_base: 8,
+            rounds: 2,
+        };
         let mut rng = StdRng::seed_from_u64(7);
-        let mut counts = vec![0usize; 9];
+        let mut counts = [0usize; 9];
         let trials = 800;
         for _ in 0..trials {
             let h = sample(&params, &mut rng);
@@ -309,7 +346,10 @@ mod tests {
     #[test]
     fn slopes_bounded_by_n_power_r() {
         // Section 5.3.5: bit complexity O(log n) — slopes are N^{O(r)}.
-        let params = HardParams { n_base: 8, rounds: 2 };
+        let params = HardParams {
+            n_base: 8,
+            rounds: 2,
+        };
         let mut rng = StdRng::seed_from_u64(3);
         let h = sample(&params, &mut rng);
         let max_slope = h.inst.max_abs_slope();

@@ -61,9 +61,7 @@ pub fn r_round(inst: &TciInstance, r: u32) -> (usize, ProtocolStats) {
         // Alice → Bob: her values at ≤ t+1 grid indices of [lo, hi].
         let span = hi - lo;
         let cells = span.min(t);
-        let grid: Vec<usize> = (0..=cells)
-            .map(|j| lo + j * span / cells)
-            .collect();
+        let grid: Vec<usize> = (0..=cells).map(|j| lo + j * span / cells).collect();
         stats.messages += 1;
         stats.rounds += 1;
         stats.bits += grid.len() as u64 * (VALUE_BITS + INDEX_BITS);
@@ -78,7 +76,11 @@ pub fn r_round(inst: &TciInstance, r: u32) -> (usize, ProtocolStats) {
             }
         }
         let new_lo = grid[last_le];
-        let new_hi = if last_le + 1 < grid.len() { grid[last_le + 1] - 1 } else { grid[last_le] };
+        let new_hi = if last_le + 1 < grid.len() {
+            grid[last_le + 1] - 1
+        } else {
+            grid[last_le]
+        };
 
         // Bob → Alice: the narrowed interval.
         stats.messages += 1;

@@ -93,7 +93,10 @@ impl TciInstance {
     /// # Panics
     /// Panics if the promise `a_1 ≤ b_1` fails.
     pub fn answer_scan(&self) -> usize {
-        assert!(self.a[0] <= self.b[0], "promise violated: curves never cross");
+        assert!(
+            self.a[0] <= self.b[0],
+            "promise violated: curves never cross"
+        );
         let mut ans = 1;
         for i in 1..self.a.len() {
             if self.a[i] <= self.b[i] {
@@ -214,7 +217,15 @@ mod tests {
         let mut bad = good;
         bad.a[0] = ri(100);
         // also breaks monotonicity; craft a clean no-crossing case:
-        bad.a = vec![ri(100), ri(101), ri(103), ri(106), ri(110), ri(115), ri(121)];
+        bad.a = vec![
+            ri(100),
+            ri(101),
+            ri(103),
+            ri(106),
+            ri(110),
+            ri(115),
+            ri(121),
+        ];
         assert_eq!(bad.validate(), Err(TciError::NoCrossing));
     }
 
@@ -230,7 +241,7 @@ mod tests {
             for _ in 1..n {
                 let last = *a.last().unwrap();
                 a.push(last + inc);
-                inc = inc + ri(r.random_range(0..3));
+                inc += ri(r.random_range(0..3));
             }
             let mut b = vec![ri(r.random_range(0..(4 * n as i128)))];
             let mut step = ri(-1);
@@ -240,7 +251,11 @@ mod tests {
                 step = step - ri(r.random_range(0..3));
             }
             let inst = TciInstance::new(a, b);
-            assert_eq!(inst.validate(), Ok(()), "generator produced invalid instance");
+            assert_eq!(
+                inst.validate(),
+                Ok(()),
+                "generator produced invalid instance"
+            );
             assert_eq!(inst.answer_scan(), inst.answer_binary_search());
         }
     }

@@ -70,13 +70,19 @@ impl<C> CoordSim<C> {
         for (i, c) in data.into_iter().enumerate() {
             sites[i % k].push(c);
         }
-        CoordSim { sites, meter: CoordMeter::default() }
+        CoordSim {
+            sites,
+            meter: CoordMeter::default(),
+        }
     }
 
     /// Uses an explicit partition.
     pub fn from_partitions(sites: Vec<Vec<C>>) -> Self {
         assert!(!sites.is_empty(), "need at least one site");
-        CoordSim { sites, meter: CoordMeter::default() }
+        CoordSim {
+            sites,
+            meter: CoordMeter::default(),
+        }
     }
 
     /// Number of sites `k`.
@@ -108,14 +114,22 @@ impl<C> CoordSim<C> {
     pub fn charge_down<T: BitCost + ?Sized>(&mut self, payload: &T) {
         let b = payload.bits();
         self.meter.bits_down += b;
-        *self.meter.per_round_bits.last_mut().expect("charge outside a round") += b;
+        *self
+            .meter
+            .per_round_bits
+            .last_mut()
+            .expect("charge outside a round") += b;
     }
 
     /// Charges a site→coordinator message.
     pub fn charge_up<T: BitCost + ?Sized>(&mut self, payload: &T) {
         let b = payload.bits();
         self.meter.bits_up += b;
-        *self.meter.per_round_bits.last_mut().expect("charge outside a round") += b;
+        *self
+            .meter
+            .per_round_bits
+            .last_mut()
+            .expect("charge outside a round") += b;
     }
 }
 

@@ -28,7 +28,11 @@ impl MpcMeter {
 
     /// The model's cost: the maximum per-machine load over all rounds.
     pub fn max_load_bits(&self) -> u64 {
-        self.per_round_max_load.iter().copied().max().unwrap_or(0)
+        self.per_round_max_load
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
             .max(self.current.iter().copied().max().unwrap_or(0))
     }
 
@@ -61,7 +65,10 @@ impl<C> MpcSim<C> {
         for _ in 0..k {
             machines.push(it.by_ref().take(chunk).collect());
         }
-        MpcSim { machines, meter: MpcMeter::default() }
+        MpcSim {
+            machines,
+            meter: MpcMeter::default(),
+        }
     }
 
     /// Number of machines.
@@ -125,8 +132,7 @@ impl<C> MpcSim<C> {
         while informed_count < k {
             self.begin_round();
             rounds += 1;
-            let senders: Vec<usize> =
-                (0..k).filter(|&i| informed[i]).collect();
+            let senders: Vec<usize> = (0..k).filter(|&i| informed[i]).collect();
             let mut targets: Vec<usize> = (0..k).filter(|&i| !informed[i]).collect();
             for s in senders {
                 for _ in 0..fanout {
@@ -159,7 +165,11 @@ impl<C> MpcSim<C> {
             let mut next = Vec::with_capacity(holders.len().div_ceil(fanout));
             for group in holders.chunks(fanout) {
                 // Prefer the root as group head when present.
-                let head = if group.contains(&root) { root } else { group[0] };
+                let head = if group.contains(&root) {
+                    root
+                } else {
+                    group[0]
+                };
                 for &m in group {
                     if m != head {
                         self.charge_raw(m, head, payload_bits);

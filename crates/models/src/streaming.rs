@@ -76,7 +76,11 @@ pub struct StreamSession<'a, C> {
 impl<'a, C> StreamSession<'a, C> {
     /// Wraps an input sequence.
     pub fn new(data: &'a [C]) -> Self {
-        StreamSession { data, passes: 0, space: SpaceMeter::new() }
+        StreamSession {
+            data,
+            passes: 0,
+            space: SpaceMeter::new(),
+        }
     }
 
     /// Number of elements in the stream (`n` is public knowledge in the

@@ -59,6 +59,9 @@ mod tests {
     fn lex_cmp_orders() {
         assert_eq!(lex_cmp(&[1.0, 2.0], &[1.0, 3.0], 1e-9), Ordering::Less);
         assert_eq!(lex_cmp(&[1.0, 3.0], &[1.0, 2.0], 1e-9), Ordering::Greater);
-        assert_eq!(lex_cmp(&[1.0, 2.0], &[1.0 + 1e-13, 2.0], 1e-9), Ordering::Equal);
+        assert_eq!(
+            lex_cmp(&[1.0, 2.0], &[1.0 + 1e-13, 2.0], 1e-9),
+            Ordering::Equal
+        );
     }
 }

@@ -19,7 +19,11 @@ pub struct Mat {
 impl Mat {
     /// A `rows × cols` zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Mat { rows, cols, data: vec![0.0; rows * cols] }
+        Mat {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Builds from a row-major slice.
@@ -28,7 +32,11 @@ impl Mat {
     /// Panics if `data.len() != rows * cols`.
     pub fn from_rows(rows: usize, cols: usize, data: &[f64]) -> Self {
         assert_eq!(data.len(), rows * cols, "shape mismatch");
-        Mat { rows, cols, data: data.to_vec() }
+        Mat {
+            rows,
+            cols,
+            data: data.to_vec(),
+        }
     }
 
     /// The identity matrix of size `n`.

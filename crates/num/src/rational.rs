@@ -33,7 +33,10 @@ impl Rat {
         let g = gcd(num.unsigned_abs(), den.unsigned_abs());
         debug_assert!(g > 0);
         let g = g as i128;
-        Rat { num: sign * num / g, den: den.abs() / g }
+        Rat {
+            num: sign * num / g,
+            den: den.abs() / g,
+        }
     }
 
     /// The integer `n` as a rational.
@@ -73,7 +76,10 @@ impl Rat {
 
     /// Absolute value.
     pub fn abs(self) -> Self {
-        Rat { num: self.num.abs(), den: self.den }
+        Rat {
+            num: self.num.abs(),
+            den: self.den,
+        }
     }
 
     /// Multiplicative inverse.
@@ -137,10 +143,11 @@ impl Add for Rat {
         let g = gcd(self.den.unsigned_abs(), rhs.den.unsigned_abs()) as i128;
         let lhs_scale = rhs.den / g;
         let rhs_scale = self.den / g;
-        let num = self
-            .num
-            .checked_mul(lhs_scale)
-            .and_then(|x| rhs.num.checked_mul(rhs_scale).and_then(|y| x.checked_add(y)));
+        let num = self.num.checked_mul(lhs_scale).and_then(|x| {
+            rhs.num
+                .checked_mul(rhs_scale)
+                .and_then(|y| x.checked_add(y))
+        });
         let den = self.den.checked_mul(lhs_scale);
         Rat::checked_new(num, den)
     }
@@ -162,7 +169,10 @@ impl Sub for Rat {
 impl Neg for Rat {
     type Output = Rat;
     fn neg(self) -> Rat {
-        Rat { num: -self.num, den: self.den }
+        Rat {
+            num: -self.num,
+            den: self.den,
+        }
     }
 }
 
@@ -180,6 +190,8 @@ impl Mul for Rat {
 
 impl Div for Rat {
     type Output = Rat;
+    // Division by the reciprocal is the definition, not a typo.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Self) -> Rat {
         self * rhs.recip()
     }
@@ -194,7 +206,10 @@ impl PartialOrd for Rat {
 impl Ord for Rat {
     fn cmp(&self, other: &Self) -> Ordering {
         // Compare a/b ? c/d via a*d ? c*b; denominators are positive.
-        match (self.num.checked_mul(other.den), other.num.checked_mul(self.den)) {
+        match (
+            self.num.checked_mul(other.den),
+            other.num.checked_mul(self.den),
+        ) {
             (Some(l), Some(r)) => l.cmp(&r),
             // Overflow fallback: compare via f64 first, exact continued
             // fraction if too close. In our parameter ranges this branch is
@@ -220,8 +235,14 @@ fn cmp_exact_slow(mut a: Rat, mut b: Rat) -> Ordering {
             (false, true) => return Ordering::Greater,
             (false, false) => {
                 // a' = den_a/ra, b' = den_b/rb, comparison flips.
-                let na = Rat { num: a.den, den: ra };
-                let nb = Rat { num: b.den, den: rb };
+                let na = Rat {
+                    num: a.den,
+                    den: ra,
+                };
+                let nb = Rat {
+                    num: b.den,
+                    den: rb,
+                };
                 a = nb;
                 b = na;
             }

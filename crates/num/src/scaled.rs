@@ -26,9 +26,15 @@ pub struct ScaledF64 {
 
 impl ScaledF64 {
     /// Exactly zero.
-    pub const ZERO: ScaledF64 = ScaledF64 { mantissa: 0.0, exp: 0 };
+    pub const ZERO: ScaledF64 = ScaledF64 {
+        mantissa: 0.0,
+        exp: 0,
+    };
     /// Exactly one.
-    pub const ONE: ScaledF64 = ScaledF64 { mantissa: 1.0, exp: 0 };
+    pub const ONE: ScaledF64 = ScaledF64 {
+        mantissa: 1.0,
+        exp: 0,
+    };
 
     /// Builds a scaled float from a plain non-negative `f64`.
     ///
@@ -37,19 +43,28 @@ impl ScaledF64 {
     /// finite and non-negative, so such a value indicates a logic error
     /// upstream.
     pub fn from_f64(v: f64) -> Self {
-        assert!(v.is_finite() && v >= 0.0, "ScaledF64 requires a finite non-negative value, got {v}");
+        assert!(
+            v.is_finite() && v >= 0.0,
+            "ScaledF64 requires a finite non-negative value, got {v}"
+        );
         if v == 0.0 {
             return Self::ZERO;
         }
         let (m, e) = frexp(v);
         // frexp returns m in [0.5, 1); renormalize to [1, 2).
-        Self { mantissa: m * 2.0, exp: e - 1 }
+        Self {
+            mantissa: m * 2.0,
+            exp: e - 1,
+        }
     }
 
     /// `base^pow` for a non-negative base, computed in log space so that
     /// enormous powers (e.g. `(n^{1/r})^{a_i}`) do not overflow.
     pub fn powi(base: f64, pow: u32) -> Self {
-        assert!(base.is_finite() && base > 0.0, "power base must be positive, got {base}");
+        assert!(
+            base.is_finite() && base > 0.0,
+            "power base must be positive, got {base}"
+        );
         if pow == 0 {
             return Self::ONE;
         }
@@ -62,7 +77,11 @@ impl ScaledF64 {
         assert!(x.is_finite());
         let e = x.floor();
         let frac = x - e;
-        Self { mantissa: frac.exp2(), exp: e as i64 }.normalized()
+        Self {
+            mantissa: frac.exp2(),
+            exp: e as i64,
+        }
+        .normalized()
     }
 
     /// The value as a plain `f64`, saturating to `f64::MAX` / `0.0` when
@@ -194,14 +213,22 @@ impl Add for ScaledF64 {
         if rhs.is_zero() {
             return self;
         }
-        let (hi, lo) = if self.exp >= rhs.exp { (self, rhs) } else { (rhs, self) };
+        let (hi, lo) = if self.exp >= rhs.exp {
+            (self, rhs)
+        } else {
+            (rhs, self)
+        };
         let shift = hi.exp - lo.exp;
         if shift > 100 {
             // The smaller addend is below the precision of the larger.
             return hi;
         }
         let m = hi.mantissa + lo.mantissa * (-(shift as f64)).exp2();
-        Self { mantissa: m, exp: hi.exp }.normalized()
+        Self {
+            mantissa: m,
+            exp: hi.exp,
+        }
+        .normalized()
     }
 }
 
@@ -231,7 +258,11 @@ impl Sub for ScaledF64 {
         if m <= 0.0 {
             return Self::ZERO;
         }
-        Self { mantissa: m, exp: self.exp }.normalized()
+        Self {
+            mantissa: m,
+            exp: self.exp,
+        }
+        .normalized()
     }
 }
 
@@ -241,7 +272,11 @@ impl Mul for ScaledF64 {
         if self.is_zero() || rhs.is_zero() {
             return Self::ZERO;
         }
-        Self { mantissa: self.mantissa * rhs.mantissa, exp: self.exp + rhs.exp }.normalized()
+        Self {
+            mantissa: self.mantissa * rhs.mantissa,
+            exp: self.exp + rhs.exp,
+        }
+        .normalized()
     }
 }
 
@@ -265,7 +300,11 @@ impl Div for ScaledF64 {
         if self.is_zero() {
             return Self::ZERO;
         }
-        Self { mantissa: self.mantissa / rhs.mantissa, exp: self.exp - rhs.exp }.normalized()
+        Self {
+            mantissa: self.mantissa / rhs.mantissa,
+            exp: self.exp - rhs.exp,
+        }
+        .normalized()
     }
 }
 
@@ -339,7 +378,10 @@ mod tests {
         let b = ScaledF64::powi(2.0, 100);
         assert!(a < b);
         assert!(ScaledF64::ZERO < a);
-        assert_eq!(ScaledF64::ZERO.partial_cmp(&ScaledF64::ZERO), Some(Ordering::Equal));
+        assert_eq!(
+            ScaledF64::ZERO.partial_cmp(&ScaledF64::ZERO),
+            Some(Ordering::Equal)
+        );
     }
 
     #[test]

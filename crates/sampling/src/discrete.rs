@@ -126,7 +126,11 @@ pub fn multinomial<R: Rng + ?Sized>(m: u64, weights: &[f64], rng: &mut R) -> Vec
             counts[i] = remaining;
             break;
         }
-        let p = if rest > 0.0 { (w / rest).clamp(0.0, 1.0) } else { 0.0 };
+        let p = if rest > 0.0 {
+            (w / rest).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
         let x = binomial(remaining, p, rng);
         counts[i] = x;
         remaining -= x;

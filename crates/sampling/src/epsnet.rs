@@ -29,7 +29,12 @@ pub struct EpsNetSpec {
 impl EpsNetSpec {
     /// The spec with the paper's verbatim constants.
     pub fn paper(eps: f64, lambda: usize, delta: f64) -> Self {
-        EpsNetSpec { eps, lambda, delta, multiplier: 1.0 }
+        EpsNetSpec {
+            eps,
+            lambda,
+            delta,
+            multiplier: 1.0,
+        }
     }
 
     /// A calibrated spec: same asymptotics, smaller constant. The default
@@ -37,7 +42,12 @@ impl EpsNetSpec {
     /// EXPERIMENTS.md): the empirical failure rate stays far below the
     /// δ = 1/3 budget of Claim 3.2 at this scale.
     pub fn calibrated(eps: f64, lambda: usize, delta: f64) -> Self {
-        EpsNetSpec { eps, lambda, delta, multiplier: 1.0 / 16.0 }
+        EpsNetSpec {
+            eps,
+            lambda,
+            delta,
+            multiplier: 1.0 / 16.0,
+        }
     }
 
     /// The sample size `m_{ε,λ,δ}` of Eq. (1), scaled by `multiplier`.
@@ -45,8 +55,15 @@ impl EpsNetSpec {
     /// # Panics
     /// Panics unless `0 < eps < 1`, `0 < delta < 1`, `lambda ≥ 1`.
     pub fn size(&self) -> usize {
-        assert!(self.eps > 0.0 && self.eps < 1.0, "eps must be in (0,1), got {}", self.eps);
-        assert!(self.delta > 0.0 && self.delta < 1.0, "delta must be in (0,1)");
+        assert!(
+            self.eps > 0.0 && self.eps < 1.0,
+            "eps must be in (0,1), got {}",
+            self.eps
+        );
+        assert!(
+            self.delta > 0.0 && self.delta < 1.0,
+            "delta must be in (0,1)"
+        );
         assert!(self.lambda >= 1, "VC dimension must be positive");
         let lam = self.lambda as f64;
         let a = 8.0 * lam / self.eps;
@@ -121,7 +138,10 @@ mod tests {
     #[test]
     fn multiplier_scales_linearly() {
         let base = EpsNetSpec::paper(0.05, 3, 0.33);
-        let halved = EpsNetSpec { multiplier: 0.5, ..base };
+        let halved = EpsNetSpec {
+            multiplier: 0.5,
+            ..base
+        };
         let (a, b) = (base.size(), halved.size());
         assert!((a as f64 / b as f64 - 2.0).abs() < 0.01, "{a} vs {b}");
     }

@@ -36,7 +36,10 @@ impl<T> PartialOrd for Entry<T> {
 impl<T> Ord for Entry<T> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Reversed: BinaryHeap is a max-heap, we want min at the root.
-        other.key.partial_cmp(&self.key).expect("keys are finite or -inf")
+        other
+            .key
+            .partial_cmp(&self.key)
+            .expect("keys are finite or -inf")
     }
 }
 
@@ -55,7 +58,10 @@ impl<T> WeightedReservoir<T> {
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "reservoir capacity must be positive");
-        WeightedReservoir { capacity, heap: BinaryHeap::with_capacity(capacity + 1) }
+        WeightedReservoir {
+            capacity,
+            heap: BinaryHeap::with_capacity(capacity + 1),
+        }
     }
 
     /// Offers one element with the given weight. Zero-weight elements are
@@ -135,7 +141,11 @@ mod tests {
         let mut r = rng();
         let mut res = WeightedReservoir::new(3);
         for i in 0..50 {
-            let w = if i % 2 == 0 { ScaledF64::ONE } else { ScaledF64::ZERO };
+            let w = if i % 2 == 0 {
+                ScaledF64::ONE
+            } else {
+                ScaledF64::ZERO
+            };
             res.offer(i, w, &mut r);
         }
         for item in res.into_items() {
@@ -153,7 +163,11 @@ mod tests {
         for _ in 0..trials {
             let mut res = WeightedReservoir::new(1);
             for i in 0..20 {
-                let w = if i == 7 { ScaledF64::from_f64(1900.0) } else { ScaledF64::ONE };
+                let w = if i == 7 {
+                    ScaledF64::from_f64(1900.0)
+                } else {
+                    ScaledF64::ONE
+                };
                 res.offer(i, w, &mut r);
             }
             if res.into_items()[0] == 7 {

@@ -67,7 +67,11 @@ impl SortedTargetSampler {
             .map(|_| total * ScaledF64::from_f64(rng.random_range(0.0..1.0f64)))
             .collect();
         targets.sort_by(|a, b| a.partial_cmp(b).expect("weights are ordered"));
-        SortedTargetSampler { targets, cursor: 0, acc: ScaledF64::ZERO }
+        SortedTargetSampler {
+            targets,
+            cursor: 0,
+            acc: ScaledF64::ZERO,
+        }
     }
 
     /// Advances the prefix sum by `weight` and returns the number of
@@ -144,12 +148,15 @@ mod tests {
     fn sorted_targets_match_weight_distribution() {
         let mut r = rng();
         // Element 9 has weight 10x the rest combined.
-        let mut weights = vec![1.0; 10];
+        let mut weights = [1.0; 10];
         weights[9] = 90.0;
         let total: ScaledF64 = weights.iter().map(|&w| ScaledF64::from_f64(w)).sum();
         let m = 20_000;
         let mut sampler = SortedTargetSampler::new(m, total, &mut r);
-        let counts: Vec<usize> = weights.iter().map(|&w| sampler.feed(ScaledF64::from_f64(w))).collect();
+        let counts: Vec<usize> = weights
+            .iter()
+            .map(|&w| sampler.feed(ScaledF64::from_f64(w)))
+            .collect();
         let frac9 = counts[9] as f64 / m as f64;
         assert!((frac9 - 0.909).abs() < 0.02, "heavy element got {frac9}");
     }

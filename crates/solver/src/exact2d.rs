@@ -59,7 +59,15 @@ pub fn solve<R: Rng + ?Sized>(
     order.shuffle(rng);
 
     // Start at the box vertex minimizing the objective, ties toward -M.
-    let pick = |coef: Rat| if coef > Rat::ZERO { -box_m } else if coef < Rat::ZERO { box_m } else { -box_m };
+    let pick = |coef: Rat| {
+        if coef > Rat::ZERO {
+            -box_m
+        } else if coef < Rat::ZERO {
+            box_m
+        } else {
+            -box_m
+        }
+    };
     let mut x = pick(c.0);
     let mut y = pick(c.1);
 
@@ -227,16 +235,22 @@ mod tests {
     #[test]
     fn infeasible() {
         let cs = vec![
-            RatHalfplane::new(ri(1), ri(0), ri(0)),  // x ≤ 0
+            RatHalfplane::new(ri(1), ri(0), ri(0)),   // x ≤ 0
             RatHalfplane::new(ri(-1), ri(0), ri(-1)), // x ≥ 1
         ];
-        assert_eq!(solve(&cs, (ri(0), ri(1)), big(), &mut rng()), Exact2dResult::Infeasible);
+        assert_eq!(
+            solve(&cs, (ri(0), ri(1)), big(), &mut rng()),
+            Exact2dResult::Infeasible
+        );
     }
 
     #[test]
     fn unbounded_pins_to_box() {
         let cs = vec![RatHalfplane::new(ri(-1), ri(0), ri(0))]; // x ≥ 0
-        assert_eq!(solve(&cs, (ri(0), ri(1)), big(), &mut rng()), Exact2dResult::Unbounded);
+        assert_eq!(
+            solve(&cs, (ri(0), ri(1)), big(), &mut rng()),
+            Exact2dResult::Unbounded
+        );
     }
 
     #[test]
@@ -279,7 +293,10 @@ mod tests {
     #[test]
     fn zero_normal_constraints() {
         let cs = vec![RatHalfplane::new(ri(0), ri(0), ri(-1))];
-        assert_eq!(solve(&cs, (ri(0), ri(1)), big(), &mut rng()), Exact2dResult::Infeasible);
+        assert_eq!(
+            solve(&cs, (ri(0), ri(1)), big(), &mut rng()),
+            Exact2dResult::Infeasible
+        );
         let cs = vec![
             RatHalfplane::new(ri(0), ri(0), ri(1)),
             RatHalfplane::new(ri(0), ri(-1), ri(0)),

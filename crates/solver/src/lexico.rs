@@ -50,14 +50,20 @@ pub fn lex_min_optimum<R: Rng + ?Sized>(
         reduced.push(Halfspace::new(hi, m_box));
         reduced.push(Halfspace::new(lo, m_box));
     }
-    let inner_cfg = SeidelConfig { box_half_width: 16.0 * m_box, eps: cfg.eps };
+    let inner_cfg = SeidelConfig {
+        box_half_width: 16.0 * m_box,
+        eps: cfg.eps,
+    };
 
     // x_j = expr[j].constant + expr[j].coefs · y ; initially the identity.
     let mut expr: Vec<AffineExpr> = (0..d)
         .map(|j| {
             let mut coefs = vec![0.0; d];
             coefs[j] = 1.0;
-            AffineExpr { constant: 0.0, coefs }
+            AffineExpr {
+                constant: 0.0,
+                coefs,
+            }
         })
         .collect();
 

@@ -29,7 +29,10 @@ pub struct SeidelConfig {
 
 impl Default for SeidelConfig {
     fn default() -> Self {
-        SeidelConfig { box_half_width: 1e9, eps: 1e-9 }
+        SeidelConfig {
+            box_half_width: 1e9,
+            eps: 1e-9,
+        }
     }
 }
 
@@ -71,7 +74,10 @@ fn normalize(h: &Halfspace) -> Halfspace {
     if n <= 1e-300 {
         return h.clone();
     }
-    Halfspace { a: h.a.iter().map(|v| v / n).collect(), b: h.b / n }
+    Halfspace {
+        a: h.a.iter().map(|v| v / n).collect(),
+        b: h.b / n,
+    }
 }
 
 fn on_box(x: &[f64], cfg: &SeidelConfig) -> bool {
@@ -95,7 +101,18 @@ fn solve_rec<R: Rng + ?Sized>(
     // Start from the box vertex minimizing the objective (deterministic
     // tie-break toward -M).
     let m = cfg.box_half_width;
-    let mut x: Point = objective.iter().map(|&c| if c > 0.0 { -m } else if c < 0.0 { m } else { -m }).collect();
+    let mut x: Point = objective
+        .iter()
+        .map(|&c| {
+            if c > 0.0 {
+                -m
+            } else if c < 0.0 {
+                m
+            } else {
+                -m
+            }
+        })
+        .collect();
 
     for i in 0..constraints.len() {
         let h = &constraints[i];
@@ -211,7 +228,10 @@ mod tests {
     #[test]
     fn one_dim_interval() {
         // x ≤ 5, -x ≤ -2 (x ≥ 2); min x -> 2, max x (c = -1) -> 5.
-        let cs = vec![Halfspace::new(vec![1.0], 5.0), Halfspace::new(vec![-1.0], -2.0)];
+        let cs = vec![
+            Halfspace::new(vec![1.0], 5.0),
+            Halfspace::new(vec![-1.0], -2.0),
+        ];
         let r = solve(&cs, &[1.0], &SeidelConfig::default(), &mut rng());
         assert_pt(r.point().unwrap(), &[2.0]);
         let r = solve(&cs, &[-1.0], &SeidelConfig::default(), &mut rng());
@@ -220,8 +240,14 @@ mod tests {
 
     #[test]
     fn one_dim_infeasible() {
-        let cs = vec![Halfspace::new(vec![1.0], 1.0), Halfspace::new(vec![-1.0], -2.0)];
-        assert_eq!(solve(&cs, &[1.0], &SeidelConfig::default(), &mut rng()), LpResult::Infeasible);
+        let cs = vec![
+            Halfspace::new(vec![1.0], 1.0),
+            Halfspace::new(vec![-1.0], -2.0),
+        ];
+        assert_eq!(
+            solve(&cs, &[1.0], &SeidelConfig::default(), &mut rng()),
+            LpResult::Infeasible
+        );
     }
 
     #[test]
@@ -240,7 +266,10 @@ mod tests {
     fn two_dim_unbounded_detected() {
         // min -x with only x ≥ 0: optimum runs to the box.
         let cs = vec![Halfspace::new(vec![-1.0, 0.0], 0.0)];
-        assert_eq!(solve(&cs, &[-1.0, 0.0], &SeidelConfig::default(), &mut rng()), LpResult::Unbounded);
+        assert_eq!(
+            solve(&cs, &[-1.0, 0.0], &SeidelConfig::default(), &mut rng()),
+            LpResult::Unbounded
+        );
     }
 
     #[test]
@@ -249,7 +278,10 @@ mod tests {
             Halfspace::new(vec![1.0, 0.0], 0.0),
             Halfspace::new(vec![-1.0, 0.0], -1.0), // x ≥ 1 and x ≤ 0
         ];
-        assert_eq!(solve(&cs, &[1.0, 1.0], &SeidelConfig::default(), &mut rng()), LpResult::Infeasible);
+        assert_eq!(
+            solve(&cs, &[1.0, 1.0], &SeidelConfig::default(), &mut rng()),
+            LpResult::Infeasible
+        );
     }
 
     #[test]
@@ -261,10 +293,18 @@ mod tests {
             Halfspace::new(vec![0.0, -1.0, 0.0], 0.0),
             Halfspace::new(vec![0.0, 0.0, -1.0], 0.0),
         ];
-        let r = solve(&cs, &[-1.0, -1.0, -1.0], &SeidelConfig::default(), &mut rng());
+        let r = solve(
+            &cs,
+            &[-1.0, -1.0, -1.0],
+            &SeidelConfig::default(),
+            &mut rng(),
+        );
         let x = r.point().unwrap();
         let sum: f64 = x.iter().sum();
-        assert!((sum - 1.0).abs() < 1e-6, "optimum on the simplex facet, got {x:?}");
+        assert!(
+            (sum - 1.0).abs() < 1e-6,
+            "optimum on the simplex facet, got {x:?}"
+        );
     }
 
     #[test]
@@ -286,7 +326,10 @@ mod tests {
     #[test]
     fn zero_normal_infeasible_constraint() {
         let cs = vec![Halfspace::new(vec![0.0, 0.0], -1.0)];
-        assert_eq!(solve(&cs, &[1.0, 1.0], &SeidelConfig::default(), &mut rng()), LpResult::Infeasible);
+        assert_eq!(
+            solve(&cs, &[1.0, 1.0], &SeidelConfig::default(), &mut rng()),
+            LpResult::Infeasible
+        );
     }
 
     #[test]

@@ -140,8 +140,7 @@ fn run_simplex(t: &mut [Vec<f64>], basis: &mut [usize], cost: &[f64], n_cols: us
             if t[j][enter] > 1e-9 {
                 let ratio = t[j][rhs_col] / t[j][enter];
                 if ratio < best - 1e-12
-                    || ((ratio - best).abs() <= 1e-12
-                        && leave.map_or(true, |l| basis[j] < basis[l]))
+                    || ((ratio - best).abs() <= 1e-12 && leave.is_none_or(|l| basis[j] < basis[l]))
                 {
                     best = ratio;
                     leave = Some(j);
@@ -199,7 +198,10 @@ mod tests {
         ];
         let r = solve(&cs, &[-1.0, -1.0], 1e3);
         let x = r.point().unwrap();
-        assert!((x[0] - 1.6).abs() < 1e-6 && (x[1] - 1.2).abs() < 1e-6, "{x:?}");
+        assert!(
+            (x[0] - 1.6).abs() < 1e-6 && (x[1] - 1.2).abs() < 1e-6,
+            "{x:?}"
+        );
     }
 
     #[test]
@@ -236,7 +238,15 @@ mod tests {
             }
             let c: Vec<f64> = (0..d).map(|_| rng.random_range(-1.0..1.0)).collect();
             let s1 = solve(&cs, &c, 1e3);
-            let s2 = seidel::solve(&cs, &c, &SeidelConfig { box_half_width: 1e3, eps: 1e-9 }, &mut rng);
+            let s2 = seidel::solve(
+                &cs,
+                &c,
+                &SeidelConfig {
+                    box_half_width: 1e3,
+                    eps: 1e-9,
+                },
+                &mut rng,
+            );
             match (&s1, &s2) {
                 (LpResult::Optimal(x1), LpResult::Optimal(x2)) => {
                     let (v1, v2) = (dot(&c, x1), dot(&c, x2));

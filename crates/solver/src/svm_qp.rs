@@ -46,7 +46,11 @@ pub struct SvmConfig {
 
 impl Default for SvmConfig {
     fn default() -> Self {
-        SvmConfig { eps: 1e-10, min_norm2: 1e-18, max_iters: 100_000 }
+        SvmConfig {
+            eps: 1e-10,
+            min_norm2: 1e-18,
+            max_iters: 100_000,
+        }
     }
 }
 
@@ -58,7 +62,10 @@ impl Default for SvmConfig {
 pub fn solve(points: &[Point], labels: &[i8], cfg: &SvmConfig) -> SvmResult {
     assert_eq!(points.len(), labels.len(), "points/labels length mismatch");
     if points.is_empty() {
-        return SvmResult::Separable { u: Vec::new(), support: Vec::new() };
+        return SvmResult::Separable {
+            u: Vec::new(),
+            support: Vec::new(),
+        };
     }
     let d = points[0].len();
     for (p, &y) in points.iter().zip(labels) {
@@ -66,7 +73,12 @@ pub fn solve(points: &[Point], labels: &[i8], cfg: &SvmConfig) -> SvmResult {
         assert!(y == 1 || y == -1, "labels must be ±1");
     }
     // Signed points v_j = y_j x_j.
-    let v = |j: usize| -> SignedPoint<'_> { SignedPoint { x: &points[j], y: labels[j] } };
+    let v = |j: usize| -> SignedPoint<'_> {
+        SignedPoint {
+            x: &points[j],
+            y: labels[j],
+        }
+    };
     let n = points.len();
     let scale = points
         .iter()
@@ -359,9 +371,17 @@ mod tests {
         let mut labels = Vec::new();
         for i in 0..50 {
             let t = i as f64;
-            pts.push(vec![2.0 + (t * 0.7).sin().abs(), 1.0 + (t * 1.3).cos().abs(), 2.0]);
+            pts.push(vec![
+                2.0 + (t * 0.7).sin().abs(),
+                1.0 + (t * 1.3).cos().abs(),
+                2.0,
+            ]);
             labels.push(1);
-            pts.push(vec![-2.0 - (t * 0.9).sin().abs(), -1.0 - (t * 0.4).cos().abs(), -2.0]);
+            pts.push(vec![
+                -2.0 - (t * 0.9).sin().abs(),
+                -1.0 - (t * 0.4).cos().abs(),
+                -2.0,
+            ]);
             labels.push(-1);
         }
         match solve(&pts, &labels, &cfg()) {
@@ -408,7 +428,10 @@ mod tests {
     fn empty_input_trivial() {
         assert_eq!(
             solve(&[], &[], &cfg()),
-            SvmResult::Separable { u: vec![], support: vec![] }
+            SvmResult::Separable {
+                u: vec![],
+                support: vec![]
+            }
         );
     }
 
@@ -420,7 +443,10 @@ mod tests {
         let labels = vec![1, 1];
         match solve(&pts, &labels, &cfg()) {
             SvmResult::Separable { u, .. } => {
-                assert!((u[0] - 1.0).abs() < 1e-8 && (u[1] - 1.0).abs() < 1e-8, "{u:?}");
+                assert!(
+                    (u[0] - 1.0).abs() < 1e-8 && (u[1] - 1.0).abs() < 1e-8,
+                    "{u:?}"
+                );
             }
             other => panic!("{other:?}"),
         }

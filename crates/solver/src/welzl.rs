@@ -25,7 +25,10 @@ pub struct Ball {
 impl Ball {
     /// The empty ball, containing nothing.
     pub fn empty(d: usize) -> Self {
-        Ball { center: vec![0.0; d], radius: -1.0 }
+        Ball {
+            center: vec![0.0; d],
+            radius: -1.0,
+        }
     }
 
     /// True iff `p` lies inside (or on) the ball, with relative tolerance.
@@ -88,7 +91,10 @@ fn meb_with_boundary<'a>(
 fn circumball(boundary: &[&[f64]], d: usize) -> Ball {
     match boundary.len() {
         0 => Ball::empty(d),
-        1 => Ball { center: boundary[0].to_vec(), radius: 0.0 },
+        1 => Ball {
+            center: boundary[0].to_vec(),
+            radius: 0.0,
+        },
         _ => {
             let p0 = boundary[0];
             let k = boundary.len() - 1;
@@ -200,7 +206,11 @@ mod tests {
             .collect();
         let b = min_enclosing_ball(&pts, &mut r);
         assert!(b.radius <= 5.0 + 1e-6);
-        assert!(b.radius >= 4.0, "well-spread surface points give near-full radius, got {}", b.radius);
+        assert!(
+            b.radius >= 4.0,
+            "well-spread surface points give near-full radius, got {}",
+            b.radius
+        );
     }
 
     #[test]
@@ -232,7 +242,10 @@ mod tests {
             let b = min_enclosing_ball(&pts, &mut r);
             // Any ball with radius 0.99 b.radius centered anywhere near the
             // center must miss some point (spot-check the same center).
-            let shrunk = Ball { center: b.center.clone(), radius: b.radius * 0.99 };
+            let shrunk = Ball {
+                center: b.center.clone(),
+                radius: b.radius * 0.99,
+            };
             assert!(pts.iter().any(|p| !shrunk.contains(p, 0.0)));
         }
     }

@@ -118,7 +118,12 @@ pub fn ball_cloud<R: Rng + ?Sized>(n: usize, d: usize, radius: f64, rng: &mut R)
 
 /// Points on the sphere of the given radius: the MEB is (essentially) the
 /// sphere itself, so the output radius is checkable.
-pub fn sphere_shell<R: Rng + ?Sized>(n: usize, d: usize, radius: f64, rng: &mut R) -> Vec<Vec<f64>> {
+pub fn sphere_shell<R: Rng + ?Sized>(
+    n: usize,
+    d: usize,
+    radius: f64,
+    rng: &mut R,
+) -> Vec<Vec<f64>> {
     assert!(d >= 1 && n >= 1 && radius > 0.0);
     let mut pts = Vec::with_capacity(n);
     while pts.len() < n {

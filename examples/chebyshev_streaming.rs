@@ -12,7 +12,6 @@
 
 use lodim_lp::bigdata::streaming::{self, SamplingMode};
 use lodim_lp::core::clarkson::ClarksonConfig;
-use lodim_lp::core::lptype::LpTypeProblem;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -44,14 +43,20 @@ fn main() {
         println!(
             "r = {r}: recovered w = {:?}, max residual t = {:.5} (noise level {noise}), \
              {} passes, {} KiB",
-            w_hat.iter().map(|v| (v * 1e4).round() / 1e4).collect::<Vec<_>>(),
+            w_hat
+                .iter()
+                .map(|v| (v * 1e4).round() / 1e4)
+                .collect::<Vec<_>>(),
             t_hat,
             stats.passes,
             stats.peak_space_bits / 8192,
         );
         // The optimal max-residual can never exceed the noise level (w*
         // itself achieves `noise`), and the fit must be feasible.
-        assert!(t_hat <= noise + 1e-6, "residual {t_hat} exceeds noise bound");
+        assert!(
+            t_hat <= noise + 1e-6,
+            "residual {t_hat} exceeds noise bound"
+        );
         assert_eq!(
             lodim_lp::core::lptype::count_violations(&problem, &sol, &constraints),
             0

@@ -23,18 +23,27 @@ fn main() {
         vec![ri(20), ri(18), ri(15), ri(11), ri(6), ri(0), ri(-7)],
     );
     inst.validate().expect("promises hold");
-    println!("Figure 1a instance: crossing at index {}", inst.answer_scan());
+    println!(
+        "Figure 1a instance: crossing at index {}",
+        inst.answer_scan()
+    );
 
     // --- Figure 1b: the same instance as a 2-D LP. ---
     let via_lp = reduction::answer_via_lp(&inst, &mut rng);
-    println!("  via exact 2-D LP: {via_lp} (match: {})", via_lp == inst.answer_scan());
+    println!(
+        "  via exact 2-D LP: {via_lp} (match: {})",
+        via_lp == inst.answer_scan()
+    );
 
     // --- Lemma 5.6: Aug-Index hides a bit in the crossing index. ---
     let x = vec![1u8, 0, 1, 1, 0, 0, 1];
     let i_star = 4;
     let hard1 = augindex::build_instance(&x, i_star, augindex::default_steep(8));
     let bit = augindex::decode(hard1.answer_scan(), i_star);
-    println!("Aug-Index reduction: x_{i_star} = {} decoded as {bit}", x[i_star - 1]);
+    println!(
+        "Aug-Index reduction: x_{i_star} = {} decoded as {bit}",
+        x[i_star - 1]
+    );
     assert_eq!(bit, x[i_star - 1]);
 
     // --- Section 5.3.3: the hard distribution D_r. ---
@@ -42,7 +51,11 @@ fn main() {
         let params = HardParams { n_base, rounds };
         let h = sample(&params, &mut rng);
         h.inst.validate().expect("Propositions 5.7/5.9");
-        assert_eq!(h.inst.answer_scan(), h.expected_answer, "Propositions 5.8/5.10");
+        assert_eq!(
+            h.inst.answer_scan(),
+            h.expected_answer,
+            "Propositions 5.8/5.10"
+        );
         println!(
             "D_{rounds} with N = {n_base}: n = {}, answer {} inside special block z* = {}, \
              max |slope| = {}",

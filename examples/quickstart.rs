@@ -19,16 +19,22 @@ fn main() {
     // A 3-dimensional LP: minimize -x0 - x1 - x2 over 100k random
     // halfspaces tangent to the unit sphere (feasible: the origin).
     let (problem, constraints) = lodim_lp::workloads::random_lp(100_000, 3, &mut rng);
-    println!("LP: {} constraints in d = {}", constraints.len(), problem.dim());
+    println!(
+        "LP: {} constraints in d = {}",
+        constraints.len(),
+        problem.dim()
+    );
 
     // --- RAM: the meta-algorithm (Algorithm 1 of the paper). ---
     let cfg = ClarksonConfig::lean(3); // r = 3: weights grow by n^(1/3)
-    let (solution, stats) =
-        lodim_lp::core::clarkson_solve(&problem, &constraints, &cfg, &mut rng)
-            .expect("feasible and bounded");
+    let (solution, stats) = lodim_lp::core::clarkson_solve(&problem, &constraints, &cfg, &mut rng)
+        .expect("feasible and bounded");
     println!(
         "RAM     : optimum {:?} (objective {:.6}) in {} iterations (net size {})",
-        solution.iter().map(|v| (v * 1e4).round() / 1e4).collect::<Vec<_>>(),
+        solution
+            .iter()
+            .map(|v| (v * 1e4).round() / 1e4)
+            .collect::<Vec<_>>(),
         problem.objective_value(&solution),
         stats.iterations,
         stats.net_size,
@@ -53,8 +59,7 @@ fn main() {
     // --- Validate: no constraint is violated; objectives agree. ---
     let viol = lodim_lp::core::lptype::count_violations(&problem, &streamed, &constraints);
     assert_eq!(viol, 0, "streamed solution violates constraints");
-    let gap =
-        (problem.objective_value(&solution) - problem.objective_value(&streamed)).abs();
+    let gap = (problem.objective_value(&solution) - problem.objective_value(&streamed)).abs();
     assert!(gap < 1e-5, "objective gap {gap}");
     println!("OK: both solutions satisfy all constraints and agree on the objective");
 

@@ -40,7 +40,9 @@ fn main() {
     let norm2 = problem.objective_value(&u);
     println!(
         "learned u = {:?} with ||u||^2 = {norm2:.5} (geometric margin {:.4})",
-        u.iter().map(|v| (v * 1e4).round() / 1e4).collect::<Vec<_>>(),
+        u.iter()
+            .map(|v| (v * 1e4).round() / 1e4)
+            .collect::<Vec<_>>(),
         1.0 / norm2.sqrt(),
     );
     println!(

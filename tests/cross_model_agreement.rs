@@ -36,14 +36,16 @@ fn lp_all_models_agree_with_direct_solver() {
             &mut rng,
         )
         .expect("stream");
-        let (co, _) =
-            coordinator::solve(&p, cs.clone(), 8, &ClarksonConfig::lean(2), &mut rng)
-                .expect("coord");
-        let (mp, _) =
-            mpc::solve(&p, cs.clone(), &MpcConfig::lean(0.4), &mut rng).expect("mpc");
+        let (co, _) = coordinator::solve(&p, cs.clone(), 8, &ClarksonConfig::lean(2), &mut rng)
+            .expect("coord");
+        let (mp, _) = mpc::solve(&p, cs.clone(), &MpcConfig::lean(0.4), &mut rng).expect("mpc");
 
         for (name, sol) in [("ram", &ram), ("stream", &st), ("coord", &co), ("mpc", &mp)] {
-            assert_eq!(count_violations(&p, sol, &cs), 0, "{name} violates input (d={d})");
+            assert_eq!(
+                count_violations(&p, sol, &cs),
+                0,
+                "{name} violates input (d={d})"
+            );
             assert!(
                 close(p.objective_value(sol), v_direct, 1e-5),
                 "{name} objective {} vs direct {v_direct} (d={d})",
@@ -102,7 +104,11 @@ fn meb_all_models_match_radius() {
     let (mp, _) = mpc::solve(&p, pts.clone(), &MpcConfig::lean(0.4), &mut rng).expect("mpc");
     for (name, sol) in [("stream", &st), ("coord", &co), ("mpc", &mp)] {
         assert_eq!(count_violations(&p, sol, &pts), 0, "{name}");
-        assert!(close(sol.radius, direct.radius, 1e-6), "{name} radius {}", sol.radius);
+        assert!(
+            close(sol.radius, direct.radius, 1e-6),
+            "{name} radius {}",
+            sol.radius
+        );
         assert!(sol.radius <= 2.0 + 1e-6, "{name} exceeds planted sphere");
     }
 }

@@ -3,7 +3,7 @@
 
 use llp_bench as bench;
 
-fn col<'a>(t: &'a bench::Table, name: &str) -> usize {
+fn col(t: &bench::Table, name: &str) -> usize {
     t.headers
         .iter()
         .position(|h| h == name)
@@ -28,7 +28,10 @@ fn t1_iterations_within_twice_bound() {
     for row in &t.rows {
         let iters: f64 = row[ci].parse().unwrap();
         let bound: f64 = row[cb].parse().unwrap();
-        assert!(iters <= 2.0 * bound + 4.0, "iterations {iters} vs bound {bound}");
+        assert!(
+            iters <= 2.0 * bound + 4.0,
+            "iterations {iters} vs bound {bound}"
+        );
     }
 }
 
@@ -46,7 +49,11 @@ fn t10_envelope_always_ok() {
 #[test]
 fn t11_reduction_always_correct() {
     let t = bench::t11_augindex(true);
-    let (cc, cr, cv) = (col(&t, "cases"), col(&t, "correct"), col(&t, "valid_instances"));
+    let (cc, cr, cv) = (
+        col(&t, "cases"),
+        col(&t, "correct"),
+        col(&t, "valid_instances"),
+    );
     for row in &t.rows {
         assert_eq!(row[cc], row[cr], "some bits decoded wrong: {row:?}");
         assert_eq!(row[cc], row[cv], "some instances invalid: {row:?}");
@@ -96,15 +103,17 @@ fn t12_protocol_bits_decrease_with_r() {
 #[test]
 fn t2_streaming_space_shrinks_with_r() {
     let t = bench::t2_streaming(true);
-    let (cd, cr, cm, ck) =
-        (col(&t, "d"), col(&t, "r"), col(&t, "mode"), col(&t, "peak_KB"));
+    let (cd, cr, cm, ck) = (
+        col(&t, "d"),
+        col(&t, "r"),
+        col(&t, "mode"),
+        col(&t, "peak_KB"),
+    );
     // Within each (d, mode) group, peak space at r=4 is below r=1.
     use std::collections::HashMap;
     let mut groups: HashMap<(String, String), Vec<(u32, f64)>> = HashMap::new();
     for row in &t.rows {
-        let kb: f64 = row[ck].replace("e3", "e3").parse().unwrap_or_else(|_| {
-            row[ck].parse::<f64>().unwrap_or(f64::NAN)
-        });
+        let kb: f64 = row[ck].parse().unwrap_or(f64::NAN);
         groups
             .entry((row[cd].clone(), row[cm].clone()))
             .or_default()
@@ -114,7 +123,10 @@ fn t2_streaming_space_shrinks_with_r() {
         let r1 = series.iter().find(|(r, _)| *r == 1).map(|(_, v)| *v);
         let r4 = series.iter().find(|(r, _)| *r == 4).map(|(_, v)| *v);
         if let (Some(a), Some(b)) = (r1, r4) {
-            assert!(b < a, "space did not shrink (d={d}, mode={mode}): r1={a} r4={b}");
+            assert!(
+                b < a,
+                "space did not shrink (d={d}, mode={mode}): r1={a} r4={b}"
+            );
         }
     }
 }

@@ -1,0 +1,243 @@
+//! Offline vendored stand-in for [`criterion`].
+//!
+//! Implements the benchmarking surface the workspace's five bench targets
+//! use — [`Criterion::benchmark_group`], `sample_size`, `bench_function`,
+//! `bench_with_input`, [`BenchmarkId`], [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — on top of a simple
+//! wall-clock runner: each benchmark is warmed up once, then timed over
+//! `sample_size` samples (time-capped so `cargo bench` terminates quickly),
+//! reporting mean and min per-iteration times.
+//!
+//! There is no statistical analysis, HTML report, or baseline comparison;
+//! the goal is that `cargo bench` compiles, runs, and prints comparable
+//! numbers in an environment without registry access.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Hard cap on the measurement phase of any single benchmark, so full
+/// `cargo bench` runs stay in CI-friendly territory.
+const MEASURE_CAP: Duration = Duration::from_millis(500);
+
+/// The benchmark driver handed to every target function.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo passes `--bench` (and possibly a filter string) to
+        // harness = false binaries; honour a plain-string filter and
+        // ignore the flags.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 100,
+            criterion: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.to_string();
+        if self.matches(&label) {
+            run_one(&label, 100, &mut f);
+        }
+        self
+    }
+
+    fn matches(&self, label: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| label.contains(f))
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        if self.criterion.matches(&label) {
+            run_one(&label, self.sample_size, &mut f);
+        }
+        self
+    }
+
+    /// Runs one benchmark with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        if self.criterion.matches(&label) {
+            run_one(&label, self.sample_size, &mut |b| f(b, input));
+        }
+        self
+    }
+
+    /// Ends the group. (Upstream flushes reports here; the stub's output
+    /// is streamed, so this only consumes the group.)
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark as `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/parameter`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Builds an id from just a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    samples: usize,
+    total: Duration,
+    best: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Calls `f` repeatedly, recording per-call wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up call, untimed.
+        black_box(f());
+        let started = Instant::now();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            let dt = t0.elapsed();
+            self.total += dt;
+            self.best = self.best.min(dt);
+            self.iters += 1;
+            if started.elapsed() > MEASURE_CAP {
+                break;
+            }
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, samples: usize, f: &mut F) {
+    let mut b = Bencher {
+        samples,
+        total: Duration::ZERO,
+        best: Duration::MAX,
+        iters: 0,
+    };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("{label:<48} (no iterations recorded)");
+        return;
+    }
+    let mean = b.total / u32::try_from(b.iters).unwrap_or(u32::MAX);
+    println!(
+        "{label:<48} mean {:>12?}  min {:>12?}  ({} iters)",
+        mean, b.best, b.iters
+    );
+}
+
+/// Declares a function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the `main` of a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(5);
+        group.bench_function(BenchmarkId::new("sum", 10), |b| {
+            b.iter(|| (0..10u64).sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::new("sq", 4), &4u64, |b, &n| b.iter(|| n * n));
+        group.finish();
+        c.bench_function("plain", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_and_macros_run() {
+        criterion_group!(benches, target);
+        benches();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("d2", 1000).to_string(), "d2/1000");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

@@ -1,0 +1,177 @@
+//! Offline vendored stand-in for [`proptest`].
+//!
+//! The build environment has no registry access, so this crate implements
+//! the property-testing surface the workspace's tests use:
+//!
+//! * the [`proptest!`] macro (with optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header),
+//! * numeric range strategies (`0u64..10_000`, `-5.0f64..=5.0`, …),
+//! * [`collection::vec`] with fixed or ranged lengths,
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`], and
+//!   [`prop_assume!`].
+//!
+//! Cases are generated deterministically: case `k` of test `f` draws from
+//! `StdRng::seed_from_u64(fnv(f) ^ k)`, so failures reproduce exactly on
+//! re-run and across machines. There is no shrinking — on failure the full
+//! generated input set is printed instead, which for the small numeric
+//! inputs used here is just as actionable.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+// Re-exported so the `proptest!` expansion can name the RNG through
+// `$crate` without requiring callers to depend on `rand` themselves.
+#[doc(hidden)]
+pub use rand;
+
+pub use strategy::Strategy;
+pub use test_runner::{ProptestConfig, TestCaseError};
+
+/// The glob-import module mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// FNV-1a over a test name; namespaces each test's deterministic stream.
+pub fn fnv1a(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case (not
+/// the whole process) with the generated inputs attached.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($a),
+            stringify!($b),
+            left,
+            right
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(left == right, $($fmt)*);
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: {} != {} (both {:?})",
+            stringify!($a),
+            stringify!($b),
+            left
+        );
+    }};
+}
+
+/// Discards the current case (retried with a fresh draw) when the sampled
+/// inputs do not satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Defines property tests: zero or more `#[test] fn name(pat in strategy, ...)
+/// { body }` items, optionally preceded by
+/// `#![proptest_config(ProptestConfig::with_cases(n))]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+          $(#[$meta:meta])*
+          fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                use $crate::strategy::Strategy as _;
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let stream = $crate::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+                let mut passed: u32 = 0;
+                let mut attempts: u64 = 0;
+                let max_attempts = u64::from(config.cases) * 64 + 256;
+                while passed < config.cases {
+                    attempts += 1;
+                    assert!(
+                        attempts <= max_attempts,
+                        "proptest {}: too many rejected cases ({} attempts for {} passes)",
+                        stringify!($name), attempts, passed
+                    );
+                    let mut __rng =
+                        <$crate::rand::rngs::StdRng as $crate::rand::SeedableRng>::seed_from_u64(
+                            stream ^ attempts,
+                        );
+                    $(let $arg = (&$strat).generate(&mut __rng);)+
+                    let mut __inputs = ::std::string::String::new();
+                    $(
+                        __inputs.push_str(&format!(
+                            "  {} = {:?}\n", stringify!($arg), &$arg
+                        ));
+                    )+
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || { $body ::std::result::Result::Ok(()) })();
+                    match outcome {
+                        Ok(()) => passed += 1,
+                        Err($crate::test_runner::TestCaseError::Reject(_)) => continue,
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => panic!(
+                            "proptest {} failed (case {}, attempt {}):\n{}\ninputs:\n{}",
+                            stringify!($name), passed, attempts, msg, __inputs
+                        ),
+                    }
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,70 @@
+//! Runner configuration and per-case outcomes.
+
+/// Configuration consumed by the [`proptest!`](crate::proptest) expansion.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of *passing* cases required before the test succeeds;
+    /// rejected cases (via `prop_assume!`) are retried and do not count.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Builds a config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream proptest defaults to 256; that is cheap for the numeric
+        // properties in this workspace and keeps coverage meaningful.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The inputs violated a `prop_assume!` precondition; the case is
+    /// discarded and retried with a fresh draw.
+    Reject(String),
+    /// An assertion failed; the whole test fails with this message.
+    Fail(String),
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn generated_values_respect_ranges(
+            a in 10u64..20,
+            b in -1.0f64..1.0,
+            v in collection::vec(0u8..2, 3..6),
+        ) {
+            prop_assert!((10..20).contains(&a));
+            prop_assert!((-1.0..1.0).contains(&b));
+            prop_assert!(v.len() >= 3 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 2));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+        #[test]
+        fn assume_discards_and_retries(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        #[should_panic(expected = "proptest")]
+        fn failing_property_panics_with_inputs(x in 0u32..10) {
+            prop_assert!(x > 100, "x was {}", x);
+        }
+    }
+}

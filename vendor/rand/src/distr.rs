@@ -1,0 +1,209 @@
+//! Uniform sampling from ranges — the machinery behind
+//! [`Rng::random_range`](crate::Rng::random_range).
+
+use crate::RngCore;
+use std::ops::{Range, RangeInclusive};
+
+/// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+#[inline]
+pub(crate) fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform `u64` in `[0, span)` by Lemire's multiply-shift with rejection,
+/// so integer ranges carry no modulo bias.
+#[inline]
+fn below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (span as u128);
+        let lo = m as u64;
+        if lo >= span || lo >= span.wrapping_neg() % span {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+/// Types that can be sampled uniformly from a bounded range.
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// Uniform sample from `[low, high)` if `inclusive` is false,
+    /// `[low, high]` otherwise. Callers guarantee the range is non-empty.
+    fn sample_between<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        inclusive: bool,
+    ) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_between<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self, inclusive: bool) -> Self {
+                // Work in the unsigned widening type so `high - low` cannot
+                // overflow for signed types.
+                let span = (high as $wide).wrapping_sub(low as $wide);
+                let span = if inclusive { span.wrapping_add(1) } else { span };
+                if span == 0 {
+                    // Inclusive range covering the whole domain.
+                    return rng.next_u64() as $wide as $t;
+                }
+                debug_assert!(span as u128 <= u64::MAX as u128 + 1);
+                let offset = below(rng, span as u64) as $wide;
+                (low as $wide).wrapping_add(offset) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => u64, i16 => u64, i32 => u64, i64 => u64, isize => u64,
+);
+
+impl SampleUniform for u128 {
+    #[inline]
+    fn sample_between<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        inclusive: bool,
+    ) -> Self {
+        let span = high - low + u128::from(inclusive);
+        if span == 0 {
+            return (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64());
+        }
+        if span <= u64::MAX as u128 {
+            return low + u128::from(below(rng, span as u64));
+        }
+        // Wide span: rejection-sample a raw 128-bit word.
+        loop {
+            let x = (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64());
+            // Accept only the unbiased prefix.
+            let limit = u128::MAX - (u128::MAX % span + 1) % span;
+            if x <= limit || limit == u128::MAX {
+                return low + x % span;
+            }
+        }
+    }
+}
+
+impl SampleUniform for i128 {
+    #[inline]
+    fn sample_between<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        inclusive: bool,
+    ) -> Self {
+        // Shift into unsigned space to avoid signed overflow on the span.
+        let bias = |v: i128| (v as u128).wrapping_add(1u128 << 127);
+        let r = u128::sample_between(rng, bias(low), bias(high), inclusive);
+        r.wrapping_sub(1u128 << 127) as i128
+    }
+}
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample_between<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        _inclusive: bool,
+    ) -> Self {
+        // The standard scale-and-translate map; `inclusive` only changes
+        // whether `high` itself is admissible, which for floats is the
+        // usual measure-zero hair we do not split.
+        let v = low + (high - low) * unit_f64(rng);
+        if v < high || low == high {
+            v
+        } else {
+            low
+        }
+    }
+}
+
+impl SampleUniform for f32 {
+    #[inline]
+    fn sample_between<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        inclusive: bool,
+    ) -> Self {
+        f64::sample_between(rng, f64::from(low), f64::from(high), inclusive) as f32
+    }
+}
+
+/// Range expressions accepted by [`Rng::random_range`](crate::Rng::random_range).
+pub trait SampleRange<T> {
+    /// Draws one uniform sample.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "random_range: empty range");
+        T::sample_between(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        assert!(low <= high, "random_range: empty range");
+        T::sample_between(rng, low, high, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rngs::StdRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn int_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.random_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.random_range(-5i64..=5);
+            assert!((-5..=5).contains(&w));
+            let x = rng.random_range(-1000i128..1000);
+            assert!((-1000..1000).contains(&x));
+        }
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let v = rng.random_range(-2.5f64..2.5);
+            assert!((-2.5..2.5).contains(&v));
+            let w = rng.random_range(0.0f64..=1.0);
+            assert!((0.0..=1.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn int_ranges_hit_all_values() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[rng.random_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn unit_interval_mean_is_centered() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.random_range(0.0f64..1.0)).sum();
+        assert!((sum / n as f64 - 0.5).abs() < 0.01);
+    }
+}

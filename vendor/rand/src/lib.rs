@@ -1,0 +1,144 @@
+//! Offline vendored stand-in for the [`rand`] crate.
+//!
+//! The build environment has no access to the crates.io registry, so this
+//! workspace vendors the *subset* of the rand 0.9 API its code actually
+//! uses, implemented from scratch on top of the public-domain xoshiro256++
+//! generator:
+//!
+//! * [`RngCore`] — raw 32/64-bit word generation and byte filling.
+//! * [`Rng`] — `random_range` (half-open and inclusive integer/float
+//!   ranges) and `random_bool`, blanket-implemented for every `RngCore`.
+//! * [`SeedableRng`] — `from_seed` and the `seed_from_u64` shorthand every
+//!   call site in the workspace relies on for reproducibility.
+//! * [`rngs::StdRng`] — the deterministic workhorse generator.
+//! * [`seq::SliceRandom`] — Fisher–Yates `shuffle` and uniform `choose`.
+//!
+//! The implementation is deterministic across platforms and runs: the same
+//! seed always yields the same stream, which is what the experiment harness
+//! and the property tests require. It makes no attempt at cryptographic
+//! strength and does not reproduce upstream rand's exact value streams.
+
+pub mod rngs;
+pub mod seq;
+
+mod distr;
+
+pub use distr::{SampleRange, SampleUniform};
+
+/// The core of a random number generator: uniformly random words.
+pub trait RngCore {
+    /// Returns the next uniformly random `u32`.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next uniformly random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    #[inline]
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    #[inline]
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples uniformly from `range`, e.g. `rng.random_range(0..n)` or
+    /// `rng.random_range(-1.0..=1.0)`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    #[inline]
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= p <= 1.0`.
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "random_bool: p = {p} out of [0, 1]"
+        );
+        distr::unit_f64(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A generator that can be constructed deterministically from a seed.
+pub trait SeedableRng: Sized {
+    /// The byte-array seed type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanding it with SplitMix64 —
+    /// the form every call site in this workspace uses.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let word = splitmix64(&mut state).to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&word[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// One step of the SplitMix64 sequence; used to expand `u64` seeds.
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}

@@ -1,0 +1,193 @@
+//! Offline vendored stand-in for [`serde`].
+//!
+//! The build environment cannot reach the crates.io registry, so this crate
+//! provides the small serialization surface `llp_geom` needs: a
+//! [`Serialize`]/[`Deserialize`] trait pair over a minimal JSON value model
+//! ([`json::Value`]), plus `#[derive(Serialize, Deserialize)]` re-exported
+//! from the sibling `serde_derive` stub. The derives cover plain
+//! named-field structs — exactly the shapes this workspace serializes.
+//!
+//! The wire format is honest JSON: `to_json` produces a standard JSON
+//! document and `from_json` parses one, so constraint sets round-trip
+//! through files and over simulated network links.
+
+pub mod json;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// A (de)serialization error with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Builds an error from a message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can be converted into a JSON value.
+pub trait Serialize {
+    /// Converts `self` into a JSON value tree.
+    fn to_value(&self) -> json::Value;
+
+    /// Renders `self` as a JSON document.
+    fn to_json(&self) -> String {
+        self.to_value().render()
+    }
+}
+
+/// Types that can be reconstructed from a JSON value.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a JSON value tree.
+    fn from_value(v: &json::Value) -> Result<Self, Error>;
+
+    /// Parses `Self` from a JSON document.
+    fn from_json(s: &str) -> Result<Self, Error> {
+        Self::from_value(&json::parse(s)?)
+    }
+}
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> json::Value {
+                json::Value::Num(f64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &json::Value) -> Result<Self, Error> {
+                match v {
+                    json::Value::Num(n) => Ok(*n as $t),
+                    other => Err(Error::new(format!("expected number, got {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_float!(f32, f64);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> json::Value {
+                json::Value::Num(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &json::Value) -> Result<Self, Error> {
+                match v {
+                    json::Value::Num(n) if n.fract() == 0.0 => Ok(*n as $t),
+                    other => Err(Error::new(format!("expected integer, got {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn to_value(&self) -> json::Value {
+        json::Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &json::Value) -> Result<Self, Error> {
+        match v {
+            json::Value::Bool(b) => Ok(*b),
+            other => Err(Error::new(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> json::Value {
+        json::Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &json::Value) -> Result<Self, Error> {
+        match v {
+            json::Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::new(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> json::Value {
+        json::Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &json::Value) -> Result<Self, Error> {
+        match v {
+            json::Value::Arr(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::new(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> json::Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => json::Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &json::Value) -> Result<Self, Error> {
+        match v {
+            json::Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> json::Value {
+        (**self).to_value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(f64::from_json(&1.5f64.to_json()), Ok(1.5));
+        assert_eq!(bool::from_json(&true.to_json()), Ok(true));
+        assert_eq!(
+            Vec::<u32>::from_json(&vec![1u32, 2, 3].to_json()),
+            Ok(vec![1, 2, 3])
+        );
+        assert_eq!(Option::<f64>::from_json("null"), Ok(None));
+    }
+
+    #[test]
+    fn type_mismatch_is_an_error() {
+        assert!(f64::from_json("true").is_err());
+        assert!(bool::from_json("[1]").is_err());
+        assert!(u32::from_json("1.5").is_err());
+    }
+}

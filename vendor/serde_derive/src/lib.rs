@@ -1,0 +1,149 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for plain
+//! named-field structs without generics — the only shapes this workspace
+//! derives. Written directly against the `proc_macro` token API because the
+//! offline environment has no `syn`/`quote`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` by emitting field-by-field `to_value` calls.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, fields) = parse_struct(input);
+    let pushes: String = fields
+        .iter()
+        .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"))
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::json::Value {{\n\
+                 ::serde::json::Value::Obj(vec![{pushes}])\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize` by looking up each field by name.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, fields) = parse_struct(input);
+    let inits: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value(v.get(\"{f}\")\
+                     .ok_or_else(|| ::serde::Error::new(\"missing field `{f}`\"))?)?,"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::json::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 if !matches!(v, ::serde::json::Value::Obj(_)) {{\n\
+                     return Err(::serde::Error::new(\"expected object for `{name}`\"));\n\
+                 }}\n\
+                 Ok({name} {{ {inits} }})\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive: generated Deserialize impl must parse")
+}
+
+/// Extracts `(struct_name, field_names)` from a derive input.
+///
+/// Panics with a clear message on shapes the stub does not support
+/// (enums, tuple structs, generics) so a future grower knows to extend it.
+fn parse_struct(input: TokenStream) -> (String, Vec<String>) {
+    let mut tokens = input.into_iter().peekable();
+    let mut name = None;
+    while let Some(tt) = tokens.next() {
+        match tt {
+            // Skip outer attributes `#[...]` and visibility.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                tokens.next(); // the bracket group
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                // Skip an optional `(crate)`-style restriction group.
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => match tokens.next() {
+                Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                other => panic!("serde_derive stub: expected struct name, got {other:?}"),
+            },
+            TokenTree::Ident(id) if id.to_string() == "enum" || id.to_string() == "union" => {
+                panic!("serde_derive stub supports only structs, found `{id}`");
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' && name.is_some() => {
+                panic!("serde_derive stub does not support generic structs");
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace && name.is_some() => {
+                let fields = parse_named_fields(g.stream());
+                return (name.unwrap(), fields);
+            }
+            TokenTree::Punct(p) if p.as_char() == ';' && name.is_some() => {
+                // Unit struct: no fields.
+                return (name.unwrap(), Vec::new());
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis && name.is_some() => {
+                panic!("serde_derive stub does not support tuple structs");
+            }
+            _ => {}
+        }
+    }
+    panic!("serde_derive stub: could not find a struct body");
+}
+
+/// Walks the brace group of a struct and returns field names in order.
+///
+/// Token trees make this robust: commas inside field *types* live inside
+/// nested groups (`Vec<f64>` angle brackets are punct pairs, but arrays,
+/// tuples, and fn types are delimited groups), so a field boundary is the
+/// next top-level `,` after we have consumed the `:` and balanced `<...>`.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(field)) = tokens.next() else {
+            break;
+        };
+        fields.push(field.to_string());
+        // Consume `: Type` up to the next top-level comma, tracking only
+        // `<`/`>` depth (delimited groups are single token trees already).
+        let mut angle_depth = 0i32;
+        for tt in tokens.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
