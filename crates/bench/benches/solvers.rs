@@ -1,8 +1,9 @@
 //! Microbenchmarks of the basis solvers (the `T_b`/`T_v` primitives of
-//! Propositions 4.1–4.3).
+//! Propositions 4.1–4.3) and the parallel violation-scan hot path.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use llp_core::instances::svm::SvmPoint;
+use llp_core::lptype::count_violations;
 use llp_solver::lexico::lex_min_optimum;
 use llp_solver::seidel::{self, SeidelConfig};
 use llp_solver::svm_qp::{self, SvmConfig};
@@ -90,11 +91,43 @@ fn bench_svm_qp(c: &mut Criterion) {
     group.finish();
 }
 
+/// The violation scan (`T_v` over the whole input) at 1 thread vs the
+/// machine's parallelism — the hot path the t13 scaling experiment is
+/// bound by. Outputs are bit-identical across counts (asserted here);
+/// the timing difference is the `llp_par` payoff. Shares its instance
+/// with the T13p experiment (`llp_bench::violation_scan_fixture`) so the
+/// two measurement paths cannot drift apart.
+fn bench_parallel_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel");
+    group.sample_size(10);
+    let (p, cs, sol) = llp_bench::violation_scan_fixture(1_000_000);
+    let threads_n = llp_par::threads().max(2);
+    let reference = llp_par::with_threads(1, || count_violations(&p, &sol, &cs));
+    for threads in [1usize, threads_n] {
+        assert_eq!(
+            llp_par::with_threads(threads, || count_violations(&p, &sol, &cs)),
+            reference,
+            "violation scan must be thread-count-independent"
+        );
+        group.bench_with_input(
+            BenchmarkId::new("violation_scan_1e6", format!("threads{threads}")),
+            &threads,
+            |b, &threads| {
+                llp_par::with_threads(threads, || {
+                    b.iter(|| black_box(count_violations(&p, &sol, &cs)))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_seidel,
     bench_lexico,
     bench_welzl,
-    bench_svm_qp
+    bench_svm_qp,
+    bench_parallel_scan
 );
 criterion_main!(benches);

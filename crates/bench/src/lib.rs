@@ -112,38 +112,17 @@ fn f(v: f64) -> String {
     }
 }
 
-/// Counts violations in parallel across worker threads (std scoped
-/// threads) — keeps the large-`n` experiments responsive.
-pub fn par_count_violations<P: LpTypeProblem + Sync>(
-    problem: &P,
-    solution: &P::Solution,
-    constraints: &[P::Constraint],
-) -> usize
-where
-    P::Solution: Sync,
-{
-    let threads = std::thread::available_parallelism()
-        .map(|t| t.get())
-        .unwrap_or(4)
-        .min(16);
-    if constraints.len() < 10_000 || threads <= 1 {
-        return count_violations(problem, solution, constraints);
-    }
-    let chunk = constraints.len().div_ceil(threads);
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for part in constraints.chunks(chunk) {
-            handles.push(scope.spawn(move || {
-                part.iter()
-                    .filter(|c| problem.violates(solution, c))
-                    .count()
-            }));
-        }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .sum()
-    })
+/// Fixture shared by the T13p experiment and the `parallel` criterion
+/// group: a seeded random 3-D LP of `n` constraints plus the basis of a
+/// small prefix — a solution violated by a nontrivial fraction of the
+/// input, so the violation scan does real work on both branches.
+pub fn violation_scan_fixture(n: usize) -> (LpProblem, Vec<Halfspace>, llp_geom::Point) {
+    let mut rng = StdRng::seed_from_u64(14_500);
+    let (p, cs) = llp_workloads::random_lp(n, 3, &mut rng);
+    let sol = p
+        .solve_subset(&cs[..64], &mut rng)
+        .expect("prefix solvable");
+    (p, cs, sol)
 }
 
 // --------------------------------------------------------------------
@@ -218,7 +197,7 @@ pub fn t2_streaming(quick: bool) -> Table {
                 let (sol, stats) =
                     stream_impl::solve(&p, &cs, &experiment_config(r), mode, &mut rng)
                         .expect("solvable");
-                assert_eq!(par_count_violations(&p, &sol, &cs), 0);
+                assert_eq!(count_violations(&p, &sol, &cs), 0);
                 let root = (n as f64).powf(1.0 / f64::from(r));
                 let kb = stats.peak_space_bits as f64 / 8192.0;
                 t.push(vec![
@@ -258,7 +237,7 @@ pub fn t3_coordinator(quick: bool) -> Table {
             let (sol, stats) =
                 coord_impl::solve(&p, cs.clone(), k, &experiment_config(r), &mut rng)
                     .expect("solvable");
-            assert_eq!(par_count_violations(&p, &sol, &cs), 0);
+            assert_eq!(count_violations(&p, &sol, &cs), 0);
             t.push(vec![
                 n.to_string(),
                 r.to_string(),
@@ -299,7 +278,7 @@ pub fn t4_mpc(quick: bool) -> Table {
         let (p, cs) = llp_workloads::random_lp(n, 2, &mut rng);
         let (sol, stats) = mpc_impl::solve(&p, cs.clone(), &experiment_mpc_config(delta), &mut rng)
             .expect("solvable");
-        assert_eq!(par_count_violations(&p, &sol, &cs), 0);
+        assert_eq!(count_violations(&p, &sol, &cs), 0);
         let load_kb = stats.max_load_bits as f64 / 8192.0;
         let pow = (n as f64).powf(delta);
         t.push(vec![
@@ -546,7 +525,7 @@ pub fn t8_ablation(quick: bool) -> Table {
         let mut rng = StdRng::seed_from_u64(8100);
         let (sol, stats) =
             stream_impl::solve(&p, &cs, &cfg, SamplingMode::TwoPassIid, &mut rng).expect("ok");
-        assert_eq!(par_count_violations(&p, &sol, &cs), 0);
+        assert_eq!(count_violations(&p, &sol, &cs), 0);
         t.push(vec![
             label.to_string(),
             stats.iterations.to_string(),
@@ -911,7 +890,7 @@ pub fn t13_scaling(quick: bool) -> Table {
         )
         .expect("ok");
         let elapsed = start.elapsed();
-        assert_eq!(par_count_violations(&p, &sol, &cs), 0);
+        assert_eq!(count_violations(&p, &sol, &cs), 0);
         t.push(vec![
             n.to_string(),
             f(elapsed.as_secs_f64() * 1000.0),
@@ -921,9 +900,67 @@ pub fn t13_scaling(quick: bool) -> Table {
     t
 }
 
+/// T13p — the t13 parallel variant: wall clock of the violation-scan hot
+/// path at `threads=1` vs `threads=N`, with identical counts asserted.
+/// The sequential leg is the reference execution of the `llp_par`
+/// determinism contract; the speedup column is what the multicore
+/// north-star buys (≈1 on a single-core host, where spawn overhead is all
+/// that is measured).
+pub fn t13p_parallel_scan(quick: bool) -> Table {
+    let mut t = Table::new(
+        "T13p  Violation scan wall clock: threads=1 vs threads=N (bit-identical counts)",
+        &[
+            "n",
+            "threads",
+            "t1_ms",
+            "tN_ms",
+            "speedup",
+            "violators",
+            "count_match",
+        ],
+    );
+    let sizes: &[usize] = if quick {
+        &[200_000]
+    } else {
+        &[1_000_000, 4_000_000]
+    };
+    // Compare against the machine's parallelism, but always exercise at
+    // least 2 workers so the parallel code path runs even on 1 core.
+    let threads_n = llp_par::threads().max(2);
+    for &n in sizes {
+        let (p, cs, sol) = violation_scan_fixture(n);
+        let reps = if quick { 3 } else { 5 };
+        let timed = |workers: usize| {
+            llp_par::with_threads(workers, || {
+                let mut best = f64::INFINITY;
+                let mut count = 0usize;
+                for _ in 0..reps {
+                    let start = std::time::Instant::now();
+                    count = count_violations(&p, &sol, &cs);
+                    best = best.min(start.elapsed().as_secs_f64() * 1000.0);
+                }
+                (best, count)
+            })
+        };
+        let (ms_1, count_1) = timed(1);
+        let (ms_n, count_n) = timed(threads_n);
+        t.push(vec![
+            n.to_string(),
+            threads_n.to_string(),
+            f(ms_1),
+            f(ms_n),
+            f(ms_1 / ms_n),
+            count_1.to_string(),
+            (count_1 == count_n).to_string(),
+        ]);
+    }
+    t
+}
+
 /// All experiment ids in order.
 pub const ALL: &[&str] = &[
-    "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9", "t10", "t11", "t12", "t13", "f1", "f2",
+    "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9", "t10", "t11", "t12", "t13", "t13p", "f1",
+    "f2",
 ];
 
 /// Runs one experiment by id.
@@ -942,6 +979,7 @@ pub fn run(id: &str, quick: bool) -> Vec<Table> {
         "t11" => vec![t11_augindex(quick)],
         "t12" => vec![t12_protocol_scaling(quick)],
         "t13" => vec![t13_scaling(quick)],
+        "t13p" => vec![t13p_parallel_scan(quick)],
         "f1" => vec![f1_tci_lp(quick)],
         "f2" => vec![f2_hard_distribution(quick)],
         "all" => ALL.iter().flat_map(|id| run(id, quick)).collect(),

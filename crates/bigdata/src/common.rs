@@ -6,6 +6,13 @@
 //! `a(c) = |{ j : c violates B_j }|`. Everyone who holds the basis history
 //! (the streaming algorithm's memory, every coordinator site, every MPC
 //! machine) can therefore recompute any weight in `O(t · d)` time.
+//!
+//! Recomputation is the models' hot path — `O(t·d)` per constraint, `O(n)`
+//! constraints per round — so the slice-level helpers (`total_weight`,
+//! `weights`, `violation_scan`) run on the `llp_par` pool with fixed chunk
+//! boundaries and ordered merges: results are bit-identical for any
+//! `LLP_THREADS`, and the metered communication is untouched because the
+//! simulators charge outside these scans.
 
 use llp_core::lptype::LpTypeProblem;
 use llp_num::ScaledF64;
@@ -60,9 +67,63 @@ impl<P: LpTypeProblem> WeightOracle<P> {
         ScaledF64::powi(self.factor, self.exponent(problem, c))
     }
 
-    /// Total weight of a slice of constraints.
+    /// Total weight of a slice of constraints, recomputed chunk-parallel
+    /// with an ordered merge (deterministic for any thread count; inputs
+    /// below one chunk reduce inline with the same association order).
     pub fn total_weight(&self, problem: &P, cs: &[P::Constraint]) -> ScaledF64 {
-        cs.iter().map(|c| self.weight(problem, c)).sum()
+        llp_par::par_map_reduce(
+            cs,
+            llp_par::DEFAULT_CHUNK,
+            ScaledF64::ZERO,
+            |_, chunk| chunk.iter().map(|c| self.weight(problem, c)).sum(),
+            |a, b| a + b,
+        )
+    }
+
+    /// Per-constraint weights of a slice, in input order. Parallelizes the
+    /// `O(t·d)` recomputation per element; the output vector is identical
+    /// for any thread count, so sequential prefix sums built on it (the
+    /// sites' sampling path) stay bit-identical too.
+    pub fn weights(&self, problem: &P, cs: &[P::Constraint]) -> Vec<ScaledF64> {
+        let chunks = llp_par::par_chunks(cs, llp_par::DEFAULT_CHUNK, |_, chunk| {
+            chunk
+                .iter()
+                .map(|c| self.weight(problem, c))
+                .collect::<Vec<_>>()
+        });
+        let mut out = Vec::with_capacity(cs.len());
+        for chunk in chunks {
+            out.extend(chunk);
+        }
+        out
+    }
+
+    /// Violator weight and count of `solution` over a slice — one fused
+    /// pass over the two hot predicates (violation test + weight
+    /// recomputation), chunk-parallel with ordered merge.
+    pub fn violation_scan(
+        &self,
+        problem: &P,
+        solution: &P::Solution,
+        cs: &[P::Constraint],
+    ) -> (ScaledF64, usize) {
+        llp_par::par_map_reduce(
+            cs,
+            llp_par::DEFAULT_CHUNK,
+            (ScaledF64::ZERO, 0usize),
+            |_, chunk| {
+                let mut w = ScaledF64::ZERO;
+                let mut count = 0usize;
+                for c in chunk {
+                    if problem.violates(solution, c) {
+                        count += 1;
+                        w += self.weight(problem, c);
+                    }
+                }
+                (w, count)
+            },
+            |(w_a, c_a), (w_b, c_b)| (w_a + w_b, c_a + c_b),
+        )
     }
 
     /// Bits this history occupies (the `Õ(ν²)·bit(S)` term of Theorem 1).

@@ -21,8 +21,10 @@ use llp_models::coordinator::CoordSim;
 use llp_num::ScaledF64;
 use rand::Rng;
 
-/// Statistics of a coordinator run (experiment T3).
-#[derive(Clone, Debug, Default)]
+/// Statistics of a coordinator run (experiment T3). `PartialEq` backs the
+/// parallel-determinism differential suite: meter readings must match
+/// exactly across thread counts.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct CoordinatorStats {
     /// Model rounds.
     pub rounds: u64,
@@ -138,14 +140,10 @@ pub fn solve<P: LpTypeProblem, R: Rng>(
         let mut violator_count = 0usize;
         for i in 0..k {
             sim.charge_down(&RawBits(problem.solution_bits()));
-            let mut local_w = ScaledF64::ZERO;
-            let mut local_count = 0usize;
-            for c in sim.site(i) {
-                if problem.violates(&solution, c) {
-                    local_count += 1;
-                    local_w += oracle.weight(problem, c);
-                }
-            }
+            // The site's fused violation-test + weight-recomputation scan
+            // runs on the llp_par pool; the metered messages below are
+            // identical to the sequential protocol.
+            let (local_w, local_count) = oracle.violation_scan(problem, &solution, sim.site(i));
             sim.charge_up(&(0.0f64, 0u64)); // w(V_i): 128 bits
             sim.charge_up(&0u64); // count: 64 bits
             w_violators += local_w;
@@ -183,7 +181,9 @@ impl llp_models::cost::BitCost for RawBits {
 }
 
 /// Draws `count` i.i.d. constraints from a site's local data, proportional
-/// to the oracle weights.
+/// to the oracle weights. The `O(t·d)`-per-element weight recomputation is
+/// parallel; the prefix sum over it stays sequential, so the inversion
+/// targets hit exactly the same elements as a fully sequential run.
 fn sample_local<P: LpTypeProblem, R: Rng>(
     problem: &P,
     oracle: &WeightOracle<P>,
@@ -194,10 +194,11 @@ fn sample_local<P: LpTypeProblem, R: Rng>(
     if data.is_empty() {
         return Vec::new();
     }
+    let weights = oracle.weights(problem, data);
     let mut prefix: Vec<ScaledF64> = Vec::with_capacity(data.len());
     let mut total = ScaledF64::ZERO;
-    for c in data {
-        total += oracle.weight(problem, c);
+    for w in weights {
+        total += w;
         prefix.push(total);
     }
     if total.is_zero() {

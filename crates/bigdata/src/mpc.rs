@@ -84,8 +84,9 @@ impl MpcConfig {
     }
 }
 
-/// Statistics of an MPC run (experiment T4).
-#[derive(Clone, Debug, Default)]
+/// Statistics of an MPC run (experiment T4). `PartialEq` backs the
+/// parallel-determinism differential suite.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct MpcStats {
     /// BSP rounds.
     pub rounds: u64,
@@ -245,19 +246,10 @@ pub fn solve<P: LpTypeProblem, R: Rng>(
         // ---- Basis broadcast down the tree. ----
         broadcast_down(&mut sim, &tree, depth, problem.solution_bits());
 
-        // ---- Violator weights converge-cast. ----
+        // ---- Violator weights converge-cast. Each machine's fused
+        // violation-test + weight scan runs on the llp_par pool. ----
         let local_viol: Vec<(ScaledF64, usize)> = (0..k)
-            .map(|i| {
-                let mut w = ScaledF64::ZERO;
-                let mut c = 0usize;
-                for x in sim.machine(i) {
-                    if problem.violates(&solution, x) {
-                        c += 1;
-                        w += oracle.weight(problem, x);
-                    }
-                }
-                (w, c)
-            })
+            .map(|i| oracle.violation_scan(problem, &solution, sim.machine(i)))
             .collect();
         let viol_w: Vec<ScaledF64> = local_viol.iter().map(|v| v.0).collect();
         let agg_w = converge_sum(&mut sim, &tree, depth, &viol_w, 192);
@@ -396,7 +388,9 @@ impl llp_models::cost::BitCost for RawBits {
     }
 }
 
-/// Weighted local sampling (same as the coordinator sites').
+/// Weighted local sampling (same as the coordinator sites'): parallel
+/// weight recomputation, sequential prefix sum — inversion targets land on
+/// exactly the same elements as a fully sequential run.
 fn sample_local<P: LpTypeProblem, R: Rng>(
     problem: &P,
     oracle: &WeightOracle<P>,
@@ -407,10 +401,11 @@ fn sample_local<P: LpTypeProblem, R: Rng>(
     if data.is_empty() {
         return Vec::new();
     }
+    let weights = oracle.weights(problem, data);
     let mut prefix: Vec<ScaledF64> = Vec::with_capacity(data.len());
     let mut total = ScaledF64::ZERO;
-    for c in data {
-        total += oracle.weight(problem, c);
+    for w in weights {
+        total += w;
         prefix.push(total);
     }
     if total.is_zero() {

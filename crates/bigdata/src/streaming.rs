@@ -37,8 +37,9 @@ pub enum SamplingMode {
     OnePassSpeculative,
 }
 
-/// Statistics of a streaming run (experiment T2).
-#[derive(Clone, Debug, Default)]
+/// Statistics of a streaming run (experiment T2). `PartialEq` backs the
+/// parallel-determinism differential suite.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct StreamingStats {
     /// Passes over the stream.
     pub passes: u64,

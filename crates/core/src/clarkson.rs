@@ -165,7 +165,9 @@ impl std::fmt::Display for ClarksonError {
 impl std::error::Error for ClarksonError {}
 
 /// Execution statistics — the raw material of experiments T1, T8, T10.
-#[derive(Clone, Debug, Default)]
+/// `PartialEq` backs the parallel-determinism differential suite: two runs
+/// agree iff every counter and trace agrees.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct ClarksonStats {
     /// Total iterations run.
     pub iterations: usize,
@@ -217,7 +219,6 @@ pub fn solve<P: LpTypeProblem, R: Rng>(
     // Scratch buffers reused across iterations.
     let mut prefix: Vec<ScaledF64> = Vec::with_capacity(n);
     let mut net_idx: Vec<usize> = Vec::with_capacity(m);
-    let mut violators: Vec<usize> = Vec::with_capacity(64);
 
     while stats.iterations < cfg.max_iterations {
         stats.iterations += 1;
@@ -250,15 +251,35 @@ pub fn solve<P: LpTypeProblem, R: Rng>(
             Err(SolveError::Unbounded) => return Err((ClarksonError::Unbounded, stats)),
         };
 
-        // --- Violators and their weight. ---
-        violators.clear();
-        let mut w_violators = ScaledF64::ZERO;
-        for (i, c) in constraints.iter().enumerate() {
-            if problem.violates(&solution, c) {
-                violators.push(i);
-                w_violators += ScaledF64::powi(factor, exponent[i]);
-            }
-        }
+        // --- Violators and their weight: the O(n) hot scan, chunked over
+        // the llp_par pool. Chunk boundaries are fixed and partial sums
+        // merge in chunk order, so the violator list (ascending indices)
+        // and the weight sum are bit-identical for any LLP_THREADS. ---
+        let (violators, w_violators) = llp_par::par_map_reduce(
+            constraints,
+            llp_par::DEFAULT_CHUNK,
+            (Vec::new(), ScaledF64::ZERO),
+            |base, chunk| {
+                let mut idx = Vec::with_capacity(64);
+                let mut w = ScaledF64::ZERO;
+                for (off, c) in chunk.iter().enumerate() {
+                    if problem.violates(&solution, c) {
+                        idx.push(base + off);
+                        w += ScaledF64::powi(factor, exponent[base + off]);
+                    }
+                }
+                (idx, w)
+            },
+            |(mut idx_a, w_a), (idx_b, w_b)| {
+                // ZERO + w is exact, so moving the first chunk's vec out
+                // instead of copying it keeps the result bit-identical.
+                if idx_a.is_empty() {
+                    return (idx_b, w_a + w_b);
+                }
+                idx_a.extend(idx_b);
+                (idx_a, w_a + w_b)
+            },
+        );
         stats.violators_trace.push(violators.len());
 
         let success = w_violators.ratio(total) <= eps;

@@ -45,7 +45,11 @@ impl std::error::Error for SolveError {}
 /// canonicity contract: `solve_subset` must return the *unique* canonical
 /// optimum (lexicographically smallest for LP), so that `violates` is
 /// well-defined and the locality property holds.
-pub trait LpTypeProblem {
+///
+/// The `Sync` supertrait lets the violation scans fan shared problem
+/// references out across the `llp_par` scoped workers; implementations
+/// are plain data, so this costs nothing.
+pub trait LpTypeProblem: Sync {
     /// One element of the constraint set `S`.
     type Constraint: Clone + Send + Sync + 'static;
     /// The canonical solution `f(A)`.
@@ -101,14 +105,23 @@ pub trait LpTypeProblem {
 
 /// Counts the constraints violating a solution — shared helper for tests
 /// and validation (the production paths fold violation checks into their
-/// passes).
+/// passes). Runs the scan on the `llp_par` pool; the count is exact and
+/// thread-count-independent, and inputs below one chunk stay inline.
 pub fn count_violations<P: LpTypeProblem>(
     problem: &P,
     solution: &P::Solution,
     constraints: &[P::Constraint],
 ) -> usize {
-    constraints
-        .iter()
-        .filter(|c| problem.violates(solution, c))
-        .count()
+    llp_par::par_map_reduce(
+        constraints,
+        llp_par::DEFAULT_CHUNK,
+        0usize,
+        |_, chunk| {
+            chunk
+                .iter()
+                .filter(|c| problem.violates(solution, c))
+                .count()
+        },
+        |a, b| a + b,
+    )
 }

@@ -18,6 +18,8 @@
 //!   lexicographic refinement, simplex, active-set SVM QP, Welzl MEB,
 //!   exact rational 2-D LP).
 //! * [`sampling`] — ε-net sizes and weighted-sampling machinery.
+//! * [`par`] — deterministic scoped-thread parallelism (`LLP_THREADS`)
+//!   used by the violation-scan and weight-recomputation hot paths.
 //! * [`lowerbound`] — Section 5: the two-curve intersection problem, its
 //!   hard distribution, protocols, and the reduction to 2-D LP.
 //! * [`baselines`] — Chan–Chen, classic Clarkson, and naive baselines.
@@ -31,6 +33,7 @@ pub use llp_geom as geom;
 pub use llp_lowerbound as lowerbound;
 pub use llp_models as models;
 pub use llp_num as num;
+pub use llp_par as par;
 pub use llp_sampling as sampling;
 pub use llp_solver as solver;
 pub use llp_workloads as workloads;

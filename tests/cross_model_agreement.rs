@@ -114,6 +114,109 @@ fn meb_all_models_match_radius() {
 }
 
 #[test]
+fn degenerate_lp_with_duplicates_and_tied_optimum_agrees_across_models() {
+    // A 3-D box whose objective is normal to a whole face: the optimal
+    // face is two-dimensional, so *every* point on it ties on c·x and the
+    // lexicographic rule must pick the canonical vertex (-1, -1, -1).
+    // Every constraint is duplicated hundreds of times, so the sampler
+    // constantly draws repeated elements and the basis solvers see
+    // maximally degenerate subsets.
+    use lodim_lp::core::instances::lp::LpProblem;
+    use lodim_lp::geom::Halfspace;
+
+    let p = LpProblem::new(vec![1.0, 0.0, 0.0]);
+    let face = |a: Vec<f64>| Halfspace::new(a, 1.0);
+    let box_faces = [
+        face(vec![1.0, 0.0, 0.0]),
+        face(vec![-1.0, 0.0, 0.0]),
+        face(vec![0.0, 1.0, 0.0]),
+        face(vec![0.0, -1.0, 0.0]),
+        face(vec![0.0, 0.0, 1.0]),
+        face(vec![0.0, 0.0, -1.0]),
+    ];
+    let mut cs: Vec<Halfspace> = Vec::new();
+    for copy in 0..900 {
+        // Interleave the duplicates so every site/machine partition holds
+        // copies of every face.
+        cs.push(box_faces[copy % box_faces.len()].clone());
+    }
+    for f in &box_faces {
+        cs.push(f.clone()); // make the count uneven across faces too
+    }
+
+    let mut rng = StdRng::seed_from_u64(600);
+    let cfg = ClarksonConfig::lean(2);
+    let direct = p.solve_subset(&cs, &mut rng).expect("box feasible");
+    let (ram, _) = lodim_lp::core::clarkson_solve(&p, &cs, &cfg, &mut rng).expect("ram");
+    let (st, _) =
+        streaming::solve(&p, &cs, &cfg, SamplingMode::TwoPassIid, &mut rng).expect("stream");
+    let (co, _) = coordinator::solve(&p, cs.clone(), 8, &cfg, &mut rng).expect("coord");
+    let (mp, _) = mpc::solve(&p, cs.clone(), &MpcConfig::lean(0.4), &mut rng).expect("mpc");
+
+    for (name, sol) in [
+        ("direct", &direct),
+        ("ram", &ram),
+        ("stream", &st),
+        ("coord", &co),
+        ("mpc", &mp),
+    ] {
+        assert_eq!(count_violations(&p, sol, &cs), 0, "{name}");
+        // The canonical lexicographic answer, not just *an* optimum.
+        for (i, &v) in sol.iter().enumerate() {
+            assert!(
+                (v - -1.0).abs() < 1e-6,
+                "{name}: coordinate {i} = {v}, expected the canonical vertex (-1,-1,-1)"
+            );
+        }
+    }
+}
+
+#[test]
+fn degenerate_meb_with_duplicated_support_agrees_across_models() {
+    // MEB whose support set is wildly non-unique: the 8 corners of a cube
+    // (every corner on the optimal sphere — maximal ties), each duplicated
+    // ~500×, plus a blob of interior points. The canonical ball is the
+    // circumsphere of the cube: center 0, radius sqrt(3).
+    let d = 3;
+    let p = MebProblem::new(d);
+    let mut pts: Vec<Vec<f64>> = Vec::new();
+    for copy in 0..4000 {
+        let corner = copy % 8;
+        pts.push(
+            (0..d)
+                .map(|axis| if (corner >> axis) & 1 == 1 { 1.0 } else { -1.0 })
+                .collect(),
+        );
+    }
+    let mut rng = StdRng::seed_from_u64(700);
+    pts.extend(lodim_lp::workloads::ball_cloud(2000, d, 0.5, &mut rng));
+
+    let expected = 3f64.sqrt();
+    let cfg = ClarksonConfig::lean(2);
+    let direct = p.solve_subset(&pts, &mut rng).expect("solvable");
+    let (st, _) = streaming::solve(&p, &pts, &cfg, SamplingMode::OnePassSpeculative, &mut rng)
+        .expect("stream");
+    let (co, _) = coordinator::solve(&p, pts.clone(), 4, &cfg, &mut rng).expect("coord");
+    let (mp, _) = mpc::solve(&p, pts.clone(), &MpcConfig::lean(0.4), &mut rng).expect("mpc");
+    for (name, ball) in [
+        ("direct", &direct),
+        ("stream", &st),
+        ("coord", &co),
+        ("mpc", &mp),
+    ] {
+        assert_eq!(count_violations(&p, ball, &pts), 0, "{name}");
+        assert!(
+            close(ball.radius, expected, 1e-6),
+            "{name}: radius {} vs circumsphere {expected}",
+            ball.radius
+        );
+        for (i, &c) in ball.center.iter().enumerate() {
+            assert!(c.abs() < 1e-6, "{name}: center[{i}] = {c}");
+        }
+    }
+}
+
+#[test]
 fn chebyshev_regression_streams_to_noise_level() {
     let mut rng = StdRng::seed_from_u64(400);
     let (p, cs, w_star) = lodim_lp::workloads::chebyshev_regression(N, 2, 0.02, &mut rng);

@@ -1,0 +1,303 @@
+//! Differential suite for the `llp_par` determinism contract: for
+//! identical seeds, every model (RAM, streaming, coordinator, MPC) on
+//! every Section 4 instance (LP, SVM, MEB) must produce **bit-identical**
+//! solutions, iteration counts, and resource-meter readings whether the
+//! hot scans run on 1 thread or 4.
+//!
+//! `threads=1` is the reference execution (same chunk grid, same ordered
+//! merge, no spawns); `threads=4` exercises the scoped workers — real
+//! threads are spawned regardless of the host's core count, so the
+//! parallel code path is covered even on single-core CI runners. The
+//! override is per-thread (see `llp_par::with_threads`), so these tests
+//! cannot race each other under the parallel test harness.
+//!
+//! Coverage notes. The parallel path only engages on slices spanning more
+//! than one `DEFAULT_CHUNK` (4096), so the coordinator/MPC legs use
+//! inputs sized to put >4096 constraints on each site/machine, and
+//! `weight_oracle_helpers_are_thread_count_invariant` drives the
+//! multi-chunk merges of every `WeightOracle` helper directly. The
+//! streaming legs are different: the streaming model's per-pass scans are
+//! *sequential by design* (a pass is one-way I/O over the stream), so no
+//! `llp_par` call exists there today — those legs lock the contract down
+//! so any future parallelization of the pass loops cannot silently break
+//! seed-reproducibility.
+
+use lodim_lp::bigdata::coordinator;
+use lodim_lp::bigdata::mpc::{self, MpcConfig};
+use lodim_lp::bigdata::streaming::{self, SamplingMode};
+use lodim_lp::core::clarkson::ClarksonConfig;
+use lodim_lp::core::instances::lp::LpProblem;
+use lodim_lp::core::instances::meb::MebProblem;
+use lodim_lp::core::instances::svm::{SvmPoint, SvmProblem};
+use lodim_lp::geom::Halfspace;
+use lodim_lp::par as llp_par;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Debug;
+
+const N: usize = 6000;
+/// Input size for the coordinator/MPC legs: with `k = 4` sites this puts
+/// 10_000 > `DEFAULT_CHUNK` constraints on every site, so the per-site
+/// scans genuinely fan out across workers instead of taking the inline
+/// single-chunk branch.
+const N_BIG: usize = 40_000;
+const SEED: u64 = 4242;
+/// MPC load exponent for the big leg: `40_000^0.8 ≈ 4900 > DEFAULT_CHUNK`
+/// constraints per machine (δ = 0.4 would leave ~70 per machine and never
+/// reach the parallel path).
+const MPC_DELTA_BIG: f64 = 0.8;
+
+/// Runs `f` at 1 thread and at 4 threads and asserts bit-identical output.
+/// `f` must seed its own RNG so both runs start from identical state.
+fn assert_thread_count_invariant<T: PartialEq + Debug>(label: &str, f: impl Fn() -> T) {
+    let sequential = llp_par::with_threads(1, &f);
+    let parallel = llp_par::with_threads(4, &f);
+    assert_eq!(
+        sequential, parallel,
+        "{label}: threads=1 and threads=4 diverged"
+    );
+}
+
+fn lp_instance() -> (LpProblem, Vec<Halfspace>) {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    lodim_lp::workloads::random_lp(N, 3, &mut rng)
+}
+
+fn svm_instance() -> (SvmProblem, Vec<SvmPoint>) {
+    let mut rng = StdRng::seed_from_u64(SEED + 1);
+    let (pts, _) = lodim_lp::workloads::separable_clouds(N, 3, 0.5, &mut rng);
+    (SvmProblem::new(3), pts)
+}
+
+fn meb_instance() -> (MebProblem, Vec<Vec<f64>>) {
+    let mut rng = StdRng::seed_from_u64(SEED + 2);
+    let pts = lodim_lp::workloads::ball_cloud(N, 3, 4.0, &mut rng);
+    (MebProblem::new(3), pts)
+}
+
+#[test]
+fn ram_clarkson_is_thread_count_invariant() {
+    let (lp, cs) = lp_instance();
+    assert_thread_count_invariant("ram/lp", || {
+        let mut rng = StdRng::seed_from_u64(SEED + 10);
+        lodim_lp::core::clarkson_solve(&lp, &cs, &ClarksonConfig::lean(2), &mut rng).unwrap()
+    });
+    let (svm, pts) = svm_instance();
+    assert_thread_count_invariant("ram/svm", || {
+        let mut rng = StdRng::seed_from_u64(SEED + 11);
+        lodim_lp::core::clarkson_solve(&svm, &pts, &ClarksonConfig::lean(2), &mut rng).unwrap()
+    });
+    let (meb, pts) = meb_instance();
+    assert_thread_count_invariant("ram/meb", || {
+        let mut rng = StdRng::seed_from_u64(SEED + 12);
+        lodim_lp::core::clarkson_solve(&meb, &pts, &ClarksonConfig::lean(2), &mut rng).unwrap()
+    });
+}
+
+#[test]
+fn streaming_is_thread_count_invariant_in_both_modes() {
+    let (lp, cs) = lp_instance();
+    for (mode, name) in [
+        (SamplingMode::TwoPassIid, "2pass"),
+        (SamplingMode::OnePassSpeculative, "1pass"),
+    ] {
+        assert_thread_count_invariant(&format!("stream-{name}/lp"), || {
+            let mut rng = StdRng::seed_from_u64(SEED + 20);
+            streaming::solve(&lp, &cs, &ClarksonConfig::lean(2), mode, &mut rng).unwrap()
+        });
+    }
+    let (svm, pts) = svm_instance();
+    assert_thread_count_invariant("stream/svm", || {
+        let mut rng = StdRng::seed_from_u64(SEED + 21);
+        streaming::solve(
+            &svm,
+            &pts,
+            &ClarksonConfig::lean(2),
+            SamplingMode::TwoPassIid,
+            &mut rng,
+        )
+        .unwrap()
+    });
+    let (meb, pts) = meb_instance();
+    assert_thread_count_invariant("stream/meb", || {
+        let mut rng = StdRng::seed_from_u64(SEED + 22);
+        streaming::solve(
+            &meb,
+            &pts,
+            &ClarksonConfig::lean(2),
+            SamplingMode::OnePassSpeculative,
+            &mut rng,
+        )
+        .unwrap()
+    });
+}
+
+#[test]
+fn coordinator_is_thread_count_invariant() {
+    // The LP leg is sized so every site's scan spans multiple chunks and
+    // actually spawns workers at threads=4.
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let (lp, cs) = lodim_lp::workloads::random_lp(N_BIG, 3, &mut rng);
+    assert_thread_count_invariant("coord/lp", || {
+        let mut rng = StdRng::seed_from_u64(SEED + 30);
+        coordinator::solve(&lp, cs.clone(), 4, &ClarksonConfig::lean(2), &mut rng).unwrap()
+    });
+    let (svm, pts) = svm_instance();
+    assert_thread_count_invariant("coord/svm", || {
+        let mut rng = StdRng::seed_from_u64(SEED + 31);
+        coordinator::solve(&svm, pts.clone(), 4, &ClarksonConfig::lean(2), &mut rng).unwrap()
+    });
+    let (meb, pts) = meb_instance();
+    assert_thread_count_invariant("coord/meb", || {
+        let mut rng = StdRng::seed_from_u64(SEED + 32);
+        coordinator::solve(&meb, pts.clone(), 4, &ClarksonConfig::lean(2), &mut rng).unwrap()
+    });
+}
+
+#[test]
+fn mpc_is_thread_count_invariant() {
+    // The LP leg is sized (and δ chosen) so every machine's scan spans
+    // multiple chunks and actually spawns workers at threads=4.
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let (lp, cs) = lodim_lp::workloads::random_lp(N_BIG, 3, &mut rng);
+    assert_thread_count_invariant("mpc/lp", || {
+        let mut rng = StdRng::seed_from_u64(SEED + 40);
+        mpc::solve(&lp, cs.clone(), &MpcConfig::lean(MPC_DELTA_BIG), &mut rng).unwrap()
+    });
+    let (svm, pts) = svm_instance();
+    assert_thread_count_invariant("mpc/svm", || {
+        let mut rng = StdRng::seed_from_u64(SEED + 41);
+        mpc::solve(&svm, pts.clone(), &MpcConfig::lean(0.4), &mut rng).unwrap()
+    });
+    let (meb, pts) = meb_instance();
+    assert_thread_count_invariant("mpc/meb", || {
+        let mut rng = StdRng::seed_from_u64(SEED + 42);
+        mpc::solve(&meb, pts.clone(), &MpcConfig::lean(0.4), &mut rng).unwrap()
+    });
+}
+
+#[test]
+fn violation_scan_invariant_across_many_thread_counts() {
+    // Beyond the 1-vs-4 contract: the scan count and the RAM solve are
+    // identical for *every* thread count, including ones exceeding the
+    // chunk count and the host's cores.
+    let (lp, cs) = lp_instance();
+    let mut rng = StdRng::seed_from_u64(SEED + 50);
+    let sol = lodim_lp::core::lptype::LpTypeProblem::solve_subset(&lp, &cs[..32], &mut rng)
+        .expect("prefix solvable");
+    let reference = llp_par::with_threads(1, || {
+        lodim_lp::core::lptype::count_violations(&lp, &sol, &cs)
+    });
+    for threads in [2usize, 3, 4, 8, 64] {
+        let got = llp_par::with_threads(threads, || {
+            lodim_lp::core::lptype::count_violations(&lp, &sol, &cs)
+        });
+        assert_eq!(got, reference, "threads={threads}");
+    }
+}
+
+#[test]
+fn weight_oracle_helpers_are_thread_count_invariant() {
+    // Drive every WeightOracle slice helper directly on a slice spanning
+    // ~10 chunks, with a non-trivial basis history, so the multi-chunk
+    // ordered merges (including the (weight, count) reduce of
+    // `violation_scan`) are exercised head-on rather than only through
+    // the model protocols.
+    use lodim_lp::bigdata::common::WeightOracle;
+    use lodim_lp::core::lptype::LpTypeProblem;
+
+    let mut rng = StdRng::seed_from_u64(SEED + 70);
+    let (lp, cs) = lodim_lp::workloads::random_lp(N_BIG, 3, &mut rng);
+    let mut oracle: WeightOracle<LpProblem> = WeightOracle::new(8.0);
+    for i in 0..6 {
+        // A spread of basis points so constraints get diverse exponents.
+        let basis = lp
+            .solve_subset(&cs[i * 50..i * 50 + 40], &mut rng)
+            .expect("subset solvable");
+        oracle.push(basis);
+    }
+    let probe = lp.solve_subset(&cs[..32], &mut rng).expect("solvable");
+
+    let totals = |threads: usize| {
+        llp_par::with_threads(threads, || {
+            (
+                oracle.total_weight(&lp, &cs),
+                oracle.weights(&lp, &cs),
+                oracle.violation_scan(&lp, &probe, &cs),
+            )
+        })
+    };
+    let reference = totals(1);
+    for threads in [2usize, 4, 16] {
+        assert_eq!(totals(threads), reference, "threads={threads}");
+    }
+    // And the helpers are consistent with each other.
+    let (total, weights, (viol_w, viol_count)) = reference;
+    let refold: lodim_lp::num::ScaledF64 = weights.iter().copied().sum();
+    assert!((refold.ratio(total) - 1.0).abs() < 1e-12);
+    assert!(
+        viol_count > 0,
+        "probe should be violated by some constraints"
+    );
+    assert!(viol_w.ratio(total) > 0.0);
+}
+
+#[test]
+fn meter_readings_match_sequential_reference_exactly() {
+    // Spell the meter contract out explicitly (beyond the PartialEq on the
+    // stats structs): communication and load charges may not depend on the
+    // thread count in any field. Inputs are sized so the per-site and
+    // per-machine scans really run multi-chunk parallel at threads=4.
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let (lp, cs) = lodim_lp::workloads::random_lp(N_BIG, 3, &mut rng);
+    let run_coord = || {
+        let mut rng = StdRng::seed_from_u64(SEED + 60);
+        coordinator::solve(&lp, cs.clone(), 4, &ClarksonConfig::lean(2), &mut rng)
+            .unwrap()
+            .1
+    };
+    let (seq, par) = (
+        llp_par::with_threads(1, run_coord),
+        llp_par::with_threads(4, run_coord),
+    );
+    assert_eq!(seq.rounds, par.rounds);
+    assert_eq!(seq.total_bits, par.total_bits);
+    assert_eq!(seq.bits_up, par.bits_up);
+    assert_eq!(seq.bits_down, par.bits_down);
+    assert_eq!(seq.iterations, par.iterations);
+
+    let run_mpc = || {
+        let mut rng = StdRng::seed_from_u64(SEED + 61);
+        mpc::solve(&lp, cs.clone(), &MpcConfig::lean(MPC_DELTA_BIG), &mut rng)
+            .unwrap()
+            .1
+    };
+    let (seq, par) = (
+        llp_par::with_threads(1, run_mpc),
+        llp_par::with_threads(4, run_mpc),
+    );
+    assert_eq!(seq.rounds, par.rounds);
+    assert_eq!(seq.max_load_bits, par.max_load_bits);
+    assert_eq!(seq.iterations, par.iterations);
+
+    let run_stream = || {
+        let mut rng = StdRng::seed_from_u64(SEED + 62);
+        streaming::solve(
+            &lp,
+            &cs,
+            &ClarksonConfig::lean(2),
+            SamplingMode::TwoPassIid,
+            &mut rng,
+        )
+        .unwrap()
+        .1
+    };
+    let (seq, par) = (
+        llp_par::with_threads(1, run_stream),
+        llp_par::with_threads(4, run_stream),
+    );
+    assert_eq!(seq.passes, par.passes);
+    assert_eq!(seq.peak_space_bits, par.peak_space_bits);
+    assert_eq!(seq.peak_space_items, par.peak_space_items);
+    assert_eq!(seq.iterations, par.iterations);
+}

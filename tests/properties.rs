@@ -5,6 +5,7 @@ use lodim_lp::bigdata::streaming::{self, SamplingMode};
 use lodim_lp::core::clarkson::ClarksonConfig;
 use lodim_lp::core::lptype::{count_violations, LpTypeProblem};
 use lodim_lp::lowerbound::{augindex, reduction};
+use lodim_lp::num::{Rat, ScaledF64};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -84,5 +85,102 @@ proptest! {
         prop_assert_eq!(count_violations(&p, &ball, &pts), 0);
         let direct = p.solve_subset(&pts, &mut rng).expect("solvable");
         prop_assert!((ball.radius - direct.radius).abs() < 1e-5 * direct.radius.max(1.0));
+    }
+}
+
+// --------------------------------------------------------------------
+// ScaledF64 against an exact Rat reference.
+//
+// Algorithm 1's weights are products of small rational factors and many
+// doublings (`F^{a_i}` with F = n^{1/r}); these properties pin the scaled
+// representation to exact rational arithmetic on exactly that shape. The
+// reference keeps the power-of-two part of the chain in a separate
+// integer exponent, so the `Rat` mantissa stays inside `i128` while the
+// represented magnitude goes far beyond `f64::MAX`.
+// --------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A random multiplication chain of small rationals followed by a
+    /// random number of doublings agrees with the exact `Rat × 2^k`
+    /// reference to ~f64 precision in log-space.
+    #[test]
+    fn prop_scaled_mul_chain_matches_rat_reference(
+        nums in collection::vec(1i128..=9, 1..24),
+        dens in collection::vec(1i128..=9, 1..24),
+        doublings in 0u32..3000,
+    ) {
+        let mut exact = Rat::ONE;
+        let mut scaled = ScaledF64::ONE;
+        for (&a, &b) in nums.iter().zip(dens.iter()) {
+            exact = exact * Rat::new(a, b);
+            scaled = scaled * ScaledF64::from_f64(a as f64) / ScaledF64::from_f64(b as f64);
+        }
+        let two = ScaledF64::from_f64(2.0);
+        for _ in 0..doublings {
+            scaled *= two;
+        }
+        let expect_log2 =
+            (exact.num() as f64).log2() - (exact.den() as f64).log2() + f64::from(doublings);
+        prop_assert!(
+            (scaled.log2() - expect_log2).abs() <= 1e-6,
+            "scaled log2 {} vs exact {} ({} factors, {} doublings)",
+            scaled.log2(), expect_log2, nums.len().min(dens.len()), doublings
+        );
+    }
+
+    /// Doubling is *exact*: k successive doublings equal one
+    /// `powi(2, k)` multiplication bit-for-bit, and shift `log2` by
+    /// exactly k (no rounding ever accumulates on the paper's weight
+    /// doubling path).
+    #[test]
+    fn prop_scaled_doubling_is_exact(
+        a in 1i128..=1000, b in 1i128..=1000, k in 0u32..5000,
+    ) {
+        let start = ScaledF64::from_f64(a as f64) / ScaledF64::from_f64(b as f64);
+        let mut doubled = start;
+        let two = ScaledF64::from_f64(2.0);
+        for _ in 0..k {
+            doubled *= two;
+        }
+        prop_assert_eq!(doubled, start * ScaledF64::powi(2.0, k));
+        // (mantissa.log2() + exp) associates differently on the two sides,
+        // so allow one ulp of slack on the log — the values themselves are
+        // bit-identical above.
+        prop_assert!((doubled.log2() - (start.log2() + f64::from(k))).abs() <= 1e-9);
+    }
+
+    /// Where the same chain overflows raw `f64` arithmetic to infinity,
+    /// `ScaledF64` stays finite and still matches the exact reference.
+    #[test]
+    fn prop_scaled_survives_where_f64_overflows(
+        nums in collection::vec(1i128..=9, 1..24),
+        dens in collection::vec(1i128..=9, 1..24),
+        doublings in 1101u32..4000,
+    ) {
+        let mut exact = Rat::ONE;
+        let mut scaled = ScaledF64::ONE;
+        let mut raw = 1f64;
+        for (&a, &b) in nums.iter().zip(dens.iter()) {
+            exact = exact * Rat::new(a, b);
+            scaled = scaled * ScaledF64::from_f64(a as f64) / ScaledF64::from_f64(b as f64);
+            raw *= a as f64 / b as f64;
+        }
+        let two = ScaledF64::from_f64(2.0);
+        for _ in 0..doublings {
+            scaled *= two;
+            raw *= 2.0;
+        }
+        // ≥ 1101 doublings push even the smallest chain value (≥ 9^-23)
+        // past f64::MAX: the raw path is ruined ...
+        prop_assert!(raw.is_infinite());
+        // ... while the scaled path still matches the exact reference.
+        let expect_log2 =
+            (exact.num() as f64).log2() - (exact.den() as f64).log2() + f64::from(doublings);
+        prop_assert!(scaled.log2().is_finite());
+        prop_assert!((scaled.log2() - expect_log2).abs() <= 1e-6);
+        // And to_f64 saturates instead of poisoning downstream math.
+        prop_assert_eq!(scaled.to_f64(), f64::MAX);
     }
 }

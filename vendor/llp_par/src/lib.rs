@@ -1,0 +1,304 @@
+//! Deterministic scoped-thread parallelism for the hot scan loops.
+//!
+//! Algorithm 1 spends almost all of its time in embarrassingly parallel
+//! per-constraint work: the O(n) violation scan, and the O(t·d)
+//! weight recomputation per constraint in the big-data models. This crate
+//! parallelizes exactly that shape under one hard contract:
+//!
+//! > **Determinism contract.** For a fixed input, every primitive returns
+//! > a bit-identical result for *any* thread count, including 1.
+//!
+//! The contract is achieved structurally, not by luck:
+//!
+//! * work is split at **fixed chunk boundaries** that depend only on the
+//!   input length and the caller's chunk size — never on the thread count;
+//! * each chunk is processed **sequentially within the chunk**, in input
+//!   order;
+//! * per-chunk results are **merged in chunk-index order** on the calling
+//!   thread, so floating-point reductions associate identically no matter
+//!   which worker produced which chunk or in what order chunks finished.
+//!
+//! The sequential fallback (one thread) walks the same chunks and merges
+//! in the same order, so `LLP_THREADS=1` is the reference execution the
+//! parallel runs are compared against — see `tests/parallel_determinism.rs`
+//! at the workspace root for the differential suite.
+//!
+//! # Thread count
+//!
+//! The pool size comes from, in priority order:
+//!
+//! 1. a per-thread override installed by [`set_threads`] / [`with_threads`]
+//!    (used by tests and benches to compare counts inside one process);
+//! 2. the `LLP_THREADS` environment variable (`1` = always sequential);
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! Threads are spawned per call with [`std::thread::scope`] — no global
+//! registry, no `'static` bounds, and borrowed inputs flow straight into
+//! the workers. Spawn cost (~10 µs/thread) is noise against the ≥10⁵-element
+//! scans this crate exists for; inputs spanning a single chunk never spawn.
+//!
+//! Nested calls (a parallel primitive invoked from inside a worker) run
+//! sequentially on the worker — parallelism never multiplies.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Default chunk size (elements) for the scan primitives.
+///
+/// Fixed once for the whole workspace: chunk boundaries are part of the
+/// determinism contract, so hot paths must not derive them from the thread
+/// count or input-dependent heuristics. 4096 constraints amortize spawn
+/// and merge overhead while still splitting million-element scans into
+/// hundreds of stealable chunks.
+pub const DEFAULT_CHUNK: usize = 4096;
+
+thread_local! {
+    /// Per-thread pool-size override; 0 = none. Thread-local so parallel
+    /// test binaries can compare thread counts without racing each other.
+    static OVERRIDE: Cell<usize> = const { Cell::new(0) };
+    /// Set inside workers: nested primitives run sequentially.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Process-wide default: `LLP_THREADS` or the machine's parallelism.
+fn default_threads() -> usize {
+    static CACHE: OnceLock<usize> = OnceLock::new();
+    *CACHE.get_or_init(|| match std::env::var("LLP_THREADS") {
+        Ok(raw) => raw
+            .trim()
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| panic!("LLP_THREADS must be a positive integer, got {raw:?}")),
+        Err(_) => std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+    })
+}
+
+/// The thread count the next primitive call on this thread will use.
+pub fn threads() -> usize {
+    match OVERRIDE.with(Cell::get) {
+        0 => default_threads(),
+        n => n,
+    }
+}
+
+/// Installs (`Some(n)`) or clears (`None`) this thread's pool-size
+/// override. Prefer [`with_threads`], which restores the previous value
+/// even on panic.
+pub fn set_threads(n: Option<usize>) {
+    OVERRIDE.with(|c| c.set(n.map_or(0, |v| v.max(1))));
+}
+
+/// Runs `f` with the pool size pinned to `n`, restoring the previous
+/// override afterwards (including on unwind).
+pub fn with_threads<A>(n: usize, f: impl FnOnce() -> A) -> A {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(OVERRIDE.with(Cell::get));
+    OVERRIDE.with(|c| c.set(n.max(1)));
+    f()
+}
+
+/// Applies `map` to fixed-size chunks of `data` and returns the per-chunk
+/// results **in chunk order**. `map` receives the chunk's offset into
+/// `data` plus the chunk slice, so element indices are recoverable.
+///
+/// Chunks are claimed dynamically by an atomic cursor (idle workers steal
+/// the next chunk), but the returned `Vec` is always ordered by chunk
+/// index, so any caller that folds it left-to-right is deterministic.
+///
+/// # Panics
+/// Panics if `chunk == 0`, or propagates the first worker panic.
+pub fn par_chunks<T, A, F>(data: &[T], chunk: usize, map: F) -> Vec<A>
+where
+    T: Sync,
+    A: Send,
+    F: Fn(usize, &[T]) -> A + Sync,
+{
+    assert!(chunk > 0, "chunk size must be positive");
+    if data.is_empty() {
+        return Vec::new();
+    }
+    let n_chunks = data.len().div_ceil(chunk);
+    let workers = threads().min(n_chunks);
+    if workers <= 1 || IN_WORKER.with(Cell::get) {
+        return data
+            .chunks(chunk)
+            .enumerate()
+            .map(|(ci, part)| map(ci * chunk, part))
+            .collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, A)> = Vec::with_capacity(n_chunks);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    IN_WORKER.with(|c| c.set(true));
+                    let mut out = Vec::new();
+                    loop {
+                        let ci = cursor.fetch_add(1, Ordering::Relaxed);
+                        if ci >= n_chunks {
+                            break;
+                        }
+                        let start = ci * chunk;
+                        let end = (start + chunk).min(data.len());
+                        out.push((ci, map(start, &data[start..end])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            tagged.extend(
+                h.join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload)),
+            );
+        }
+    });
+    tagged.sort_unstable_by_key(|&(ci, _)| ci);
+    tagged.into_iter().map(|(_, a)| a).collect()
+}
+
+/// Chunked map-reduce: `map` runs per chunk (possibly in parallel), then
+/// the per-chunk results are folded with `reduce` **in chunk order** on
+/// the calling thread, starting from `identity`.
+///
+/// This is the deterministic replacement for a sequential
+/// `fold`-over-elements: move the per-element work into `map` (which keeps
+/// input order within its chunk) and keep `reduce` associative-in-spirit;
+/// the fold tree is then fixed by the chunk grid alone, so floating-point
+/// results are bit-identical for any thread count.
+pub fn par_map_reduce<T, A, M, R>(data: &[T], chunk: usize, identity: A, map: M, reduce: R) -> A
+where
+    T: Sync,
+    A: Send,
+    M: Fn(usize, &[T]) -> A + Sync,
+    R: FnMut(A, A) -> A,
+{
+    par_chunks(data, chunk, map)
+        .into_iter()
+        .fold(identity, reduce)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_input_in_order() {
+        let data: Vec<usize> = (0..10_000).collect();
+        let parts = with_threads(4, || {
+            par_chunks(&data, 256, |off, part| (off, part.to_vec()))
+        });
+        let mut expect_off = 0;
+        let mut flat = Vec::new();
+        for (off, part) in parts {
+            assert_eq!(off, expect_off);
+            expect_off += part.len();
+            flat.extend(part);
+        }
+        assert_eq!(flat, data);
+    }
+
+    #[test]
+    fn map_reduce_bit_identical_across_thread_counts() {
+        // A sum whose value depends on association order: if the merge
+        // order ever varied with the thread count, some of these would
+        // differ in the last ulp.
+        let data: Vec<f64> = (0..100_000)
+            .map(|i| ((i * 2_654_435_761_usize) % 1_000_003) as f64 * 1e-7 + 1e9)
+            .collect();
+        let run = |t: usize| {
+            with_threads(t, || {
+                par_map_reduce(
+                    &data,
+                    1024,
+                    0.0f64,
+                    |_, part| part.iter().sum::<f64>(),
+                    |a, b| a + b,
+                )
+            })
+        };
+        let reference = run(1);
+        for t in [2, 3, 4, 7, 16] {
+            assert_eq!(run(t).to_bits(), reference.to_bits(), "threads={t}");
+        }
+    }
+
+    #[test]
+    fn offsets_expose_element_indices() {
+        let data = vec![5u64; 999];
+        let total = with_threads(3, || {
+            par_map_reduce(
+                &data,
+                100,
+                0u64,
+                |off, part| part.iter().enumerate().map(|(i, _)| (off + i) as u64).sum(),
+                |a, b| a + b,
+            )
+        });
+        assert_eq!(total, (0..999).sum::<u64>());
+    }
+
+    #[test]
+    fn empty_and_single_chunk_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert_eq!(par_chunks(&empty, 8, |_, p| p.len()), Vec::<usize>::new());
+        let small = vec![1u32, 2, 3];
+        assert_eq!(
+            with_threads(8, || par_chunks(&small, 100, |_, p| p.len())),
+            vec![3]
+        );
+    }
+
+    #[test]
+    fn nested_calls_run_sequentially() {
+        let data = vec![1u32; 5000];
+        let total = with_threads(4, || {
+            par_map_reduce(
+                &data,
+                512,
+                0u32,
+                |_, part| {
+                    // The nested call must not spawn from inside a worker.
+                    par_map_reduce(part, 64, 0u32, |_, p| p.iter().sum(), |a, b| a + b)
+                },
+                |a, b| a + b,
+            )
+        });
+        assert_eq!(total, 5000);
+    }
+
+    #[test]
+    fn with_threads_restores_previous_override() {
+        set_threads(Some(2));
+        assert_eq!(threads(), 2);
+        let inner = with_threads(6, threads);
+        assert_eq!(inner, 6);
+        assert_eq!(threads(), 2);
+        set_threads(None);
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let data = vec![0u8; 20_000];
+        let caught = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                par_chunks(&data, 128, |off, _| {
+                    assert!(off < 10_000, "deliberate failure");
+                    off
+                })
+            })
+        });
+        assert!(caught.is_err());
+    }
+}

@@ -10,11 +10,15 @@
 //! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`], and
 //!   [`prop_assume!`].
 //!
-//! Cases are generated deterministically: case `k` of test `f` draws from
-//! `StdRng::seed_from_u64(fnv(f) ^ k)`, so failures reproduce exactly on
-//! re-run and across machines. There is no shrinking — on failure the full
-//! generated input set is printed instead, which for the small numeric
-//! inputs used here is just as actionable.
+//! Cases are generated deterministically: attempt `k` of test `f` draws
+//! from `StdRng::seed_from_u64(fnv(f) ^ k)`, so failures reproduce exactly
+//! on re-run and across machines. There is no shrinking — on failure the
+//! reproduction handle is printed instead: the case's RNG seed plus the
+//! full generated input set, which for the small numeric inputs used here
+//! is just as actionable. This covers *both* failure paths — a
+//! `prop_assert!` returning `Fail`, and a plain panic escaping the body
+//! (`unwrap`, `assert!`, index out of bounds, …), which is caught with
+//! `catch_unwind` and re-raised with the seed and inputs attached.
 
 pub mod collection;
 pub mod strategy;
@@ -149,9 +153,10 @@ macro_rules! __proptest_impl {
                         "proptest {}: too many rejected cases ({} attempts for {} passes)",
                         stringify!($name), attempts, passed
                     );
+                    let __seed: u64 = stream ^ attempts;
                     let mut __rng =
                         <$crate::rand::rngs::StdRng as $crate::rand::SeedableRng>::seed_from_u64(
-                            stream ^ attempts,
+                            __seed,
                         );
                     $(let $arg = (&$strat).generate(&mut __rng);)+
                     let mut __inputs = ::std::string::String::new();
@@ -160,14 +165,30 @@ macro_rules! __proptest_impl {
                             "  {} = {:?}\n", stringify!($arg), &$arg
                         ));
                     )+
-                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
-                        (move || { $body ::std::result::Result::Ok(()) })();
+                    // Catch panics escaping the body so the reproduction
+                    // handle (seed + inputs) is never lost to a bare
+                    // `unwrap`/`assert!` backtrace.
+                    let outcome: ::std::result::Result<
+                        ::std::result::Result<(), $crate::test_runner::TestCaseError>,
+                        ::std::boxed::Box<dyn ::std::any::Any + ::std::marker::Send>,
+                    > = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                        move || { $body ::std::result::Result::Ok(()) },
+                    ));
                     match outcome {
-                        Ok(()) => passed += 1,
-                        Err($crate::test_runner::TestCaseError::Reject(_)) => continue,
-                        Err($crate::test_runner::TestCaseError::Fail(msg)) => panic!(
-                            "proptest {} failed (case {}, attempt {}):\n{}\ninputs:\n{}",
-                            stringify!($name), passed, attempts, msg, __inputs
+                        Ok(Ok(())) => passed += 1,
+                        Ok(Err($crate::test_runner::TestCaseError::Reject(_))) => continue,
+                        Ok(Err($crate::test_runner::TestCaseError::Fail(msg))) => panic!(
+                            "proptest {} failed (case {}, attempt {}, seed {:#018x}):\n{}\n\
+                             inputs:\n{}to reproduce, rerun this test: the case stream is \
+                             deterministic in (test name, attempt)",
+                            stringify!($name), passed, attempts, __seed, msg, __inputs
+                        ),
+                        Err(payload) => panic!(
+                            "proptest {} panicked (case {}, attempt {}, seed {:#018x}):\n{}\n\
+                             inputs:\n{}to reproduce, rerun this test: the case stream is \
+                             deterministic in (test name, attempt)",
+                            stringify!($name), passed, attempts, __seed,
+                            $crate::test_runner::panic_message(&payload), __inputs
                         ),
                     }
                 }

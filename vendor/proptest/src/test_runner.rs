@@ -23,6 +23,20 @@ impl Default for ProptestConfig {
     }
 }
 
+/// Extracts the human-readable message from a caught panic payload (the
+/// `&str` / `String` forms `panic!` produces; anything else is opaque).
+/// Used by the `proptest!` expansion to re-raise body panics with the
+/// failing case's seed and inputs attached.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
 /// Why a single generated case did not pass.
 #[derive(Clone, Debug)]
 pub enum TestCaseError {
@@ -62,9 +76,21 @@ mod tests {
 
     proptest! {
         #[test]
-        #[should_panic(expected = "proptest")]
-        fn failing_property_panics_with_inputs(x in 0u32..10) {
+        #[should_panic(expected = "seed")]
+        fn failing_property_panics_with_seed_and_inputs(x in 0u32..10) {
             prop_assert!(x > 100, "x was {}", x);
+        }
+    }
+
+    proptest! {
+        // A *panicking* body (not a prop_assert failure) must still
+        // surface the reproduction handle: seed + generated inputs.
+        #[test]
+        #[should_panic(expected = "seed")]
+        fn panicking_body_reports_seed_and_inputs(x in 0u32..10) {
+            let _ = x;
+            let empty: Vec<u32> = Vec::new();
+            let _ = empty[3]; // index out of bounds: a bare panic
         }
     }
 }
