@@ -122,12 +122,61 @@ fn bench_parallel_scan(c: &mut Criterion) {
     group.finish();
 }
 
+/// The weight-bookkeeping hot path of Algorithm 1: the incremental
+/// `WeightIndex` (O(|V| log n) updates + O(m log n) draws per iteration)
+/// against the full O(n) prefix rebuild it replaced. Shares its violator
+/// schedule with the T14 experiment (`llp_bench::weight_update_fixture`)
+/// so the two measurement paths cannot drift apart; the final totals of
+/// the two strategies are asserted to agree before timing starts.
+fn bench_weight_index(c: &mut Criterion) {
+    let mut group = c.benchmark_group("weight_index");
+    group.sample_size(10);
+    let (iters, m) = (4usize, 512usize);
+    for n in [100_000usize, 1_000_000] {
+        let violators = (n / 200).max(1);
+        let rounds = llp_bench::weight_update_fixture(n, iters, violators);
+        let factor = (n as f64).sqrt();
+        let mut index = llp_sampling::weight_index::WeightIndex::uniform(n);
+        let mut exponent = vec![0u32; n];
+        let (incr_total, _) =
+            llp_bench::run_weight_index_incremental(&mut index, factor, m, &rounds);
+        let (rebuild_total, _) =
+            llp_bench::run_weight_prefix_rebuild(&mut exponent, factor, m, &rounds);
+        assert!(
+            (incr_total - rebuild_total).abs() <= 1e-6 * incr_total.abs().max(1.0),
+            "weight paths disagree: {incr_total} vs {rebuild_total}"
+        );
+        // State construction stays outside the timed closures (the solver
+        // pays it once per run); it accumulates across criterion
+        // iterations, which leaves the per-iteration op count unchanged.
+        group.bench_with_input(BenchmarkId::new("incremental", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(llp_bench::run_weight_index_incremental(
+                    &mut index, factor, m, &rounds,
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("rebuild", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(llp_bench::run_weight_prefix_rebuild(
+                    &mut exponent,
+                    factor,
+                    m,
+                    &rounds,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_seidel,
     bench_lexico,
     bench_welzl,
     bench_svm_qp,
-    bench_parallel_scan
+    bench_parallel_scan,
+    bench_weight_index
 );
 criterion_main!(benches);

@@ -7,15 +7,26 @@
 //! (the streaming algorithm's memory, every coordinator site, every MPC
 //! machine) can therefore recompute any weight in `O(t · d)` time.
 //!
-//! Recomputation is the models' hot path — `O(t·d)` per constraint, `O(n)`
-//! constraints per round — so the slice-level helpers (`total_weight`,
-//! `weights`, `violation_scan`) run on the `llp_par` pool with fixed chunk
+//! Where a holder is *not* space-bounded — every coordinator site and MPC
+//! machine keeps its whole partition resident — per-round recomputation is
+//! pure waste: only the violators of an accepted basis change weight. Such
+//! holders carry a [`SiteWeights`]: a persistent Fenwick-backed
+//! [`WeightIndex`] updated in `O(|V| log n)` from each round's violator
+//! list, with O(1) totals and O(log n) sampling. Weights are derived
+//! state — they never travel — so the communication meters are unaffected.
+//! The streaming model stays on the [`WeightOracle`] recompute path: its
+//! space bound forbids materializing per-element weights, and the
+//! slice-level oracle helpers (`total_weight`, `weights`,
+//! `violation_scan`) remain the recompute reference implementation. The
+//! chunk-parallel scans here run on the `llp_par` pool with fixed chunk
 //! boundaries and ordered merges: results are bit-identical for any
 //! `LLP_THREADS`, and the metered communication is untouched because the
 //! simulators charge outside these scans.
 
 use llp_core::lptype::LpTypeProblem;
 use llp_num::ScaledF64;
+use llp_sampling::weight_index::WeightIndex;
+use rand::Rng;
 
 /// The basis history of successful iterations plus the derived weight
 /// accounting for one holder (streaming memory / a site / a machine).
@@ -132,6 +143,111 @@ impl<P: LpTypeProblem> WeightOracle<P> {
     }
 }
 
+/// The persistent incremental weight state of one holder (a coordinator
+/// site or an MPC machine): a [`WeightIndex`] over the holder's local
+/// constraints, updated from each round's violator list instead of
+/// recomputed from the basis history.
+///
+/// Protocol shape: the verdict on a basis arrives one round *after* the
+/// holder scanned for its violators, so the scan result is **staged**
+/// ([`scan_and_stage`](Self::scan_and_stage)) and then either committed —
+/// every staged index ×`F` — or discarded by
+/// [`resolve`](Self::resolve). Weights are derived state and never
+/// shipped; all metering stays in the callers.
+#[derive(Clone, Debug)]
+pub struct SiteWeights {
+    index: WeightIndex,
+    factor: f64,
+    /// Local violator indices of the basis whose verdict is pending.
+    staged: Vec<usize>,
+}
+
+impl SiteWeights {
+    /// All-ones weights over `n` local constraints (Line 2 of Algorithm 1).
+    pub fn new(n: usize, factor: f64) -> Self {
+        assert!(factor > 1.0, "weight factor must exceed 1");
+        SiteWeights {
+            index: WeightIndex::uniform(n),
+            factor,
+            staged: Vec::new(),
+        }
+    }
+
+    /// The holder's total local weight `w(S_i)` — O(1), no recompute.
+    pub fn total(&self) -> ScaledF64 {
+        self.index.total()
+    }
+
+    /// The weight of local constraint `i`.
+    pub fn weight(&self, i: usize) -> ScaledF64 {
+        self.index.get(i)
+    }
+
+    /// Finds the local violators of `solution` — one fused violation-test
+    /// and weight scan, chunk-parallel with an ordered merge
+    /// (bit-identical for any thread count), with each weight an O(1)
+    /// index read instead of an O(t·d) recompute — stages their indices
+    /// for the next verdict, and returns their weight `w(V_i)` and count.
+    pub fn scan_and_stage<P: LpTypeProblem>(
+        &mut self,
+        problem: &P,
+        solution: &P::Solution,
+        cs: &[P::Constraint],
+    ) -> (ScaledF64, usize) {
+        let (violators, w) =
+            llp_core::lptype::scan_violators_weighted(problem, solution, cs, &self.index);
+        let count = violators.len();
+        self.staged = violators;
+        (w, count)
+    }
+
+    /// Applies the coordinator's verdict on the staged basis: accepted ⇒
+    /// every staged violator's weight ×`F` (`O(|V| log n)`); rejected ⇒
+    /// weights unchanged. Either way the staged list is consumed.
+    pub fn resolve(&mut self, accepted: bool) {
+        let staged = std::mem::take(&mut self.staged);
+        if accepted {
+            for i in staged {
+                self.index.multiply(i, self.factor);
+            }
+        }
+    }
+
+    /// Draws `count` i.i.d. local indices proportional to weight — one
+    /// O(log n) descent each — sorted and deduplicated (net membership is
+    /// a set). Empty when the holder has no weight.
+    pub fn sample_indices<R: Rng + ?Sized>(&self, count: usize, rng: &mut R) -> Vec<usize> {
+        if count == 0 || self.index.total().is_zero() {
+            return Vec::new();
+        }
+        let mut idxs: Vec<usize> = (0..count).map(|_| self.index.draw(rng)).collect();
+        idxs.sort_unstable();
+        idxs.dedup();
+        idxs
+    }
+
+    /// [`sample_indices`](Self::sample_indices) resolved against the
+    /// holder's local data: the net contribution the coordinator/MPC legs
+    /// ship upward. `data` must be the same slice this holder was built
+    /// over and scans — enforced by length.
+    pub fn sample_constraints<C: Clone, R: Rng + ?Sized>(
+        &self,
+        data: &[C],
+        count: usize,
+        rng: &mut R,
+    ) -> Vec<C> {
+        assert_eq!(
+            data.len(),
+            self.index.len(),
+            "sampling against a slice this holder does not index"
+        );
+        self.sample_indices(count, rng)
+            .into_iter()
+            .map(|j| data[j].clone())
+            .collect()
+    }
+}
+
 /// Shared per-run parameters derived from the paper's formulas.
 #[derive(Clone, Copy, Debug)]
 pub struct RunParams {
@@ -203,6 +319,60 @@ mod tests {
         assert!((params.factor - 100.0).abs() < 1e-9);
         assert!((params.eps - 1.0 / 3000.0).abs() < 1e-12);
         assert!(params.net_size <= 10_000);
+    }
+
+    #[test]
+    fn site_weights_commit_and_discard() {
+        let p = LpProblem::new(vec![1.0, 1.0]);
+        // Constraints x + y ≤ b for b = 0..10; basis point (4.5, 0)
+        // violates exactly b ∈ {0..4}.
+        let cs: Vec<Halfspace> = (0..10)
+            .map(|b| Halfspace::new(vec![1.0, 1.0], f64::from(b)))
+            .collect();
+        let mut site = SiteWeights::new(cs.len(), 3.0);
+        assert!((site.total().to_f64() - 10.0).abs() < 1e-9);
+
+        let probe = vec![4.5, 0.0];
+        let (w, count) = site.scan_and_stage(&p, &probe, &cs);
+        assert_eq!(count, 5);
+        assert!((w.to_f64() - 5.0).abs() < 1e-9);
+
+        // Rejected verdict: nothing changes.
+        site.resolve(false);
+        assert!((site.total().to_f64() - 10.0).abs() < 1e-9);
+
+        // Accepted verdict: the five violators triple.
+        let _ = site.scan_and_stage(&p, &probe, &cs);
+        site.resolve(true);
+        assert!((site.total().to_f64() - (5.0 * 3.0 + 5.0)).abs() < 1e-9);
+        assert!((site.weight(0).to_f64() - 3.0).abs() < 1e-9);
+        assert!((site.weight(9).to_f64() - 1.0).abs() < 1e-9);
+
+        // A second accepted round compounds multiplicatively and the
+        // staged list is consumed each time (idempotent resolve).
+        let _ = site.scan_and_stage(&p, &probe, &cs);
+        site.resolve(true);
+        site.resolve(true);
+        assert!((site.weight(0).to_f64() - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn site_weights_sampling_prefers_heavy_elements() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let p = LpProblem::new(vec![1.0, 1.0]);
+        let cs: Vec<Halfspace> = (0..4)
+            .map(|b| Halfspace::new(vec![1.0, 1.0], f64::from(b)))
+            .collect();
+        let mut site = SiteWeights::new(cs.len(), 1000.0);
+        // Make element 0 dominate: (0.5, 0) violates only b = 0.
+        let probe = vec![0.5, 0.0];
+        let _ = site.scan_and_stage(&p, &probe, &cs);
+        site.resolve(true);
+        let mut rng = StdRng::seed_from_u64(7);
+        let picked = site.sample_indices(64, &mut rng);
+        assert!(picked.contains(&0), "dominant element missing: {picked:?}");
+        assert!(site.sample_indices(0, &mut rng).is_empty());
     }
 
     #[test]

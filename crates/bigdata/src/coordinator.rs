@@ -1,8 +1,14 @@
 //! Theorem 2: Algorithm 1 in the coordinator model (Lemma 3.7).
 //!
-//! Every site keeps the shared basis history (the coordinator broadcasts
-//! each accepted basis), so any site can recompute its local weights. One
-//! iteration of Algorithm 1 costs three model rounds:
+//! Every site hears each basis and its verdict (the coordinator
+//! broadcasts both), so any site can maintain its local weights — not by
+//! recomputing `F^{a(c)}` from the basis history each round, but
+//! incrementally: each site carries a persistent
+//! [`SiteWeights`](crate::common::SiteWeights) index and applies ×`F` to
+//! just the violators of each *accepted* basis (`O(|V_i| log n_i)` per
+//! accepted round instead of an `O(n_i · t · d)` rebuild). Weights are
+//! derived state and never travel, so the metered protocol is unchanged.
+//! One iteration of Algorithm 1 costs three model rounds:
 //!
 //! 1. coordinator → sites: accept/reject verdict of the previous basis
 //!    (1 bit); sites → coordinator: local total weights `w(S_i)`.
@@ -13,7 +19,7 @@
 //!
 //! Total: `O(νr)` rounds and `Õ((λn^{1/r}ν + k)·ν)·bit(S)` communication.
 
-use crate::common::{RunParams, WeightOracle};
+use crate::common::{RunParams, SiteWeights};
 use crate::BigDataError;
 use llp_core::lptype::LpTypeProblem;
 use llp_core::ClarksonConfig;
@@ -60,18 +66,20 @@ pub fn solve<P: LpTypeProblem, R: Rng>(
     let n = data.len();
     let params = RunParams::derive(problem, n, cfg);
     let mut sim = CoordSim::round_robin(data, k);
-    // Every site holds a replica of the basis history; since the replicas
-    // are always identical (kept in sync by the metered broadcasts), the
-    // simulation stores one copy.
-    let mut oracle: WeightOracle<P> = WeightOracle::new(params.factor);
+    // Persistent per-site weight indices: every site tracks its own
+    // partition's weights incrementally from the violator lists it scans
+    // anyway in round 3, so no round ever recomputes a weight.
+    let mut sites: Vec<SiteWeights> = (0..k)
+        .map(|i| SiteWeights::new(sim.site(i).len(), params.factor))
+        .collect();
 
     let mut stats = CoordinatorStats {
         net_size: params.net_size,
         k,
         ..CoordinatorStats::default()
     };
-    // The basis whose accept/reject verdict the sites have not heard yet.
-    let mut pending: Option<(P::Solution, bool)> = None; // (basis, accepted)
+    // The accept/reject verdict the sites have not heard yet.
+    let mut pending: Option<bool> = None;
 
     let result = loop {
         if stats.iterations >= params.max_iterations {
@@ -81,20 +89,19 @@ pub fn solve<P: LpTypeProblem, R: Rng>(
 
         // ---- Round 1: verdict down, site weights up. ----
         sim.begin_round();
-        if let Some((basis, accepted)) = pending.take() {
-            for _ in 0..k {
+        if let Some(accepted) = pending.take() {
+            for site in &mut sites {
                 sim.charge_down(&0u8); // 1-byte verdict flag
-            }
-            if accepted {
-                oracle.push(basis);
+                site.resolve(accepted);
             }
         }
         let mut site_weights: Vec<ScaledF64> = Vec::with_capacity(k);
         let mut total_weight = ScaledF64::ZERO;
-        for i in 0..k {
-            let w = oracle.total_weight(problem, sim.site(i));
-            // A scaled weight travels as (mantissa, exponent) = 128 bits —
-            // the O(ℓ/r · log n)-bit weight encoding of Lemma 3.7.
+        for site in &sites {
+            // O(1) off the standing index. A scaled weight travels as
+            // (mantissa, exponent) = 128 bits — the O(ℓ/r · log n)-bit
+            // weight encoding of Lemma 3.7.
+            let w = site.total();
             sim.charge_up(&(0.0f64, 0u64));
             site_weights.push(w);
             total_weight += w;
@@ -123,9 +130,11 @@ pub fn solve<P: LpTypeProblem, R: Rng>(
                 if counts[i] == 0 {
                     continue;
                 }
-                let sampled = sample_local(problem, &oracle, sim.site(i), counts[i] as usize, rng);
-                sim.charge_up(&RawBits(sampled.len() as u64 * problem.constraint_bits()));
-                net.extend(sampled);
+                // The site inverts its draws directly against its index —
+                // O(log n_i) each, no prefix table.
+                let picked = sites[i].sample_constraints(sim.site(i), counts[i] as usize, rng);
+                sim.charge_up(&RawBits(picked.len() as u64 * problem.constraint_bits()));
+                net.extend(picked);
             }
         }
 
@@ -140,10 +149,12 @@ pub fn solve<P: LpTypeProblem, R: Rng>(
         let mut violator_count = 0usize;
         for i in 0..k {
             sim.charge_down(&RawBits(problem.solution_bits()));
-            // The site's fused violation-test + weight-recomputation scan
-            // runs on the llp_par pool; the metered messages below are
-            // identical to the sequential protocol.
-            let (local_w, local_count) = oracle.violation_scan(problem, &solution, sim.site(i));
+            // The site's fused violation-test + weight scan runs on the
+            // llp_par pool, reading weights off its index; the violator
+            // indices are staged locally for next round's verdict. The
+            // metered messages below are identical to the sequential
+            // protocol — the staged list never travels.
+            let (local_w, local_count) = sites[i].scan_and_stage(problem, &solution, sim.site(i));
             sim.charge_up(&(0.0f64, 0u64)); // w(V_i): 128 bits
             sim.charge_up(&0u64); // count: 64 bits
             w_violators += local_w;
@@ -156,11 +167,11 @@ pub fn solve<P: LpTypeProblem, R: Rng>(
                 break Ok(solution);
             }
             stats.successful_iterations += 1;
-            pending = Some((solution, true));
+            pending = Some(true);
         } else if cfg.failure_policy == llp_core::clarkson::FailurePolicy::Abort {
             break Err(BigDataError::NetFailure);
         } else {
-            pending = Some((solution, false));
+            pending = Some(false);
         }
     };
 
@@ -178,45 +189,6 @@ impl llp_models::cost::BitCost for RawBits {
     fn bits(&self) -> u64 {
         self.0
     }
-}
-
-/// Draws `count` i.i.d. constraints from a site's local data, proportional
-/// to the oracle weights. The `O(t·d)`-per-element weight recomputation is
-/// parallel; the prefix sum over it stays sequential, so the inversion
-/// targets hit exactly the same elements as a fully sequential run.
-fn sample_local<P: LpTypeProblem, R: Rng>(
-    problem: &P,
-    oracle: &WeightOracle<P>,
-    data: &[P::Constraint],
-    count: usize,
-    rng: &mut R,
-) -> Vec<P::Constraint> {
-    if data.is_empty() {
-        return Vec::new();
-    }
-    let weights = oracle.weights(problem, data);
-    let mut prefix: Vec<ScaledF64> = Vec::with_capacity(data.len());
-    let mut total = ScaledF64::ZERO;
-    for w in weights {
-        total += w;
-        prefix.push(total);
-    }
-    if total.is_zero() {
-        return Vec::new();
-    }
-    let mut out = Vec::with_capacity(count);
-    let mut idxs: Vec<usize> = (0..count)
-        .map(|_| {
-            let t = total * ScaledF64::from_f64(rng.random_range(0.0..1.0f64));
-            prefix.partition_point(|p| *p <= t).min(data.len() - 1)
-        })
-        .collect();
-    idxs.sort_unstable();
-    idxs.dedup();
-    for i in idxs {
-        out.push(data[i].clone());
-    }
-    out
 }
 
 #[cfg(test)]

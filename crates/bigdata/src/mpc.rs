@@ -18,7 +18,7 @@
 //! With `r = ⌈1/δ⌉` outer iterations parameter, the total is `O(ν/δ²)`
 //! rounds at `Õ(λ n^δ ν²)·bit(S)` load, matching Theorem 3.
 
-use crate::common::{RunParams, WeightOracle};
+use crate::common::{RunParams, SiteWeights};
 use crate::BigDataError;
 use llp_core::lptype::LpTypeProblem;
 use llp_core::ClarksonConfig;
@@ -165,8 +165,13 @@ pub fn solve<P: LpTypeProblem, R: Rng>(
     let mut sim = MpcSim::balanced(data, k);
     let tree = Tree { k, fanout };
     let depth = tree.depth();
-    // Replicated basis history (kept in sync by metered broadcasts).
-    let mut oracle: WeightOracle<P> = WeightOracle::new(params.factor);
+    // Persistent per-machine weight indices, updated incrementally from
+    // the violator lists each machine scans anyway — the basis verdicts
+    // broadcast down the tree keep every index in sync, and no round
+    // recomputes a weight from the basis history.
+    let mut machines: Vec<SiteWeights> = (0..k)
+        .map(|i| SiteWeights::new(sim.machine(i).len(), params.factor))
+        .collect();
 
     let mut stats = MpcStats {
         k,
@@ -174,7 +179,7 @@ pub fn solve<P: LpTypeProblem, R: Rng>(
         net_size: params.net_size,
         ..MpcStats::default()
     };
-    let mut pending: Option<(P::Solution, bool)> = None;
+    let mut pending: Option<bool> = None;
 
     let result = loop {
         if stats.iterations >= params.max_iterations {
@@ -183,17 +188,15 @@ pub fn solve<P: LpTypeProblem, R: Rng>(
         stats.iterations += 1;
 
         // ---- Verdict broadcast (1 byte down the tree). ----
-        if let Some((basis, accepted)) = pending.take() {
+        if let Some(accepted) = pending.take() {
             broadcast_down(&mut sim, &tree, depth, 8);
-            if accepted {
-                oracle.push(basis);
+            for machine in &mut machines {
+                machine.resolve(accepted);
             }
         }
 
         // ---- Subtree weights converge-cast (128 bits per edge). ----
-        let local_weights: Vec<ScaledF64> = (0..k)
-            .map(|i| oracle.total_weight(problem, sim.machine(i)))
-            .collect();
+        let local_weights: Vec<ScaledF64> = machines.iter().map(SiteWeights::total).collect();
         let subtree_weights = converge_sum(&mut sim, &tree, depth, &local_weights, 128);
         let total_weight = subtree_weights[0];
 
@@ -225,7 +228,8 @@ pub fn solve<P: LpTypeProblem, R: Rng>(
             let sampled = if take_all {
                 sim.machine(i).to_vec()
             } else {
-                sample_local(problem, &oracle, sim.machine(i), counts[i] as usize, rng)
+                // Inversion draws straight off the machine's index.
+                machines[i].sample_constraints(sim.machine(i), counts[i] as usize, rng)
             };
             if i != 0 {
                 sim.charge(
@@ -247,9 +251,11 @@ pub fn solve<P: LpTypeProblem, R: Rng>(
         broadcast_down(&mut sim, &tree, depth, problem.solution_bits());
 
         // ---- Violator weights converge-cast. Each machine's fused
-        // violation-test + weight scan runs on the llp_par pool. ----
+        // violation-test + weight scan runs on the llp_par pool, reading
+        // weights off its index and staging the violator indices for the
+        // next verdict broadcast (the staged lists never travel). ----
         let local_viol: Vec<(ScaledF64, usize)> = (0..k)
-            .map(|i| oracle.violation_scan(problem, &solution, sim.machine(i)))
+            .map(|i| machines[i].scan_and_stage(problem, &solution, sim.machine(i)))
             .collect();
         let viol_w: Vec<ScaledF64> = local_viol.iter().map(|v| v.0).collect();
         let agg_w = converge_sum(&mut sim, &tree, depth, &viol_w, 192);
@@ -262,11 +268,11 @@ pub fn solve<P: LpTypeProblem, R: Rng>(
                 break Ok(solution);
             }
             stats.successful_iterations += 1;
-            pending = Some((solution, true));
+            pending = Some(true);
         } else if clarkson.failure_policy == llp_core::clarkson::FailurePolicy::Abort {
             break Err(BigDataError::NetFailure);
         } else {
-            pending = Some((solution, false));
+            pending = Some(false);
         }
     };
 
@@ -386,40 +392,6 @@ impl llp_models::cost::BitCost for RawBits {
     fn bits(&self) -> u64 {
         self.0
     }
-}
-
-/// Weighted local sampling (same as the coordinator sites'): parallel
-/// weight recomputation, sequential prefix sum — inversion targets land on
-/// exactly the same elements as a fully sequential run.
-fn sample_local<P: LpTypeProblem, R: Rng>(
-    problem: &P,
-    oracle: &WeightOracle<P>,
-    data: &[P::Constraint],
-    count: usize,
-    rng: &mut R,
-) -> Vec<P::Constraint> {
-    if data.is_empty() {
-        return Vec::new();
-    }
-    let weights = oracle.weights(problem, data);
-    let mut prefix: Vec<ScaledF64> = Vec::with_capacity(data.len());
-    let mut total = ScaledF64::ZERO;
-    for w in weights {
-        total += w;
-        prefix.push(total);
-    }
-    if total.is_zero() {
-        return Vec::new();
-    }
-    let mut idxs: Vec<usize> = (0..count)
-        .map(|_| {
-            let t = total * ScaledF64::from_f64(rng.random_range(0.0..1.0f64));
-            prefix.partition_point(|p| *p <= t).min(data.len() - 1)
-        })
-        .collect();
-    idxs.sort_unstable();
-    idxs.dedup();
-    idxs.into_iter().map(|i| data[i].clone()).collect()
 }
 
 #[cfg(test)]

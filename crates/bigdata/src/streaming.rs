@@ -117,9 +117,26 @@ fn run_two_pass<P: LpTypeProblem, R: Rng>(
                 .space
                 .alloc_raw(params.net_size as u64 * 128, params.net_size as u64);
             let mut sampler = SortedTargetSampler::new(params.net_size, total_weight, rng);
+            // The last streamed element, iff it is not already in the net
+            // (a streaming algorithm may always hold the current element).
+            let mut tail: Option<&P::Constraint> = None;
             for c in session.pass() {
                 let hits = sampler.feed(oracle.weight(problem, c));
                 if hits > 0 {
+                    session.space.alloc_raw(cbits, 1);
+                    net.push(c.clone());
+                    tail = None;
+                } else {
+                    tail = Some(c);
+                }
+            }
+            // The bookkept total is maintained incrementally while the fed
+            // weights are recomputed from the bases; rounding can leave
+            // the fed prefix short of the total, stranding trailing
+            // targets. Credit them to the final element (which owns the
+            // half-open tail interval) so the net never silently shrinks.
+            if sampler.finish() > 0 {
+                if let Some(c) = tail {
                     session.space.alloc_raw(cbits, 1);
                     net.push(c.clone());
                 }

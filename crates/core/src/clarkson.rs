@@ -17,13 +17,19 @@
 //! per-iteration success probability of Claim 3.2, and the weight envelope
 //! of Eq. (2) empirically (experiments T1/T10).
 //!
-//! Weights are never materialized per element: an element's weight is
-//! `F^{a_i}` where `a_i` counts the stored successful bases it violates —
-//! here kept as an explicit exponent array (the streaming implementation
-//! recomputes them from the stored bases instead, see Section 3.2).
+//! Weights live in one [`WeightIndex`](llp_sampling::weight_index::WeightIndex)
+//! maintained across iterations: element `i`'s weight is the product of
+//! its `F` multiplications, and the Fenwick tree behind the index serves
+//! both the Lemma 2.2 inversion sampling (O(log n) per draw, no prefix
+//! rebuild) and the O(1) total that the success test and the Eq. (2)
+//! trace share — only violators change between iterations, so an
+//! iteration costs O(|V| log n + m log n) on the weight side instead of
+//! the O(n) prefix rebuild it replaced. (The streaming implementation
+//! instead recomputes weights from the stored bases under its space
+//! bound, see Section 3.2.)
 
 use crate::lptype::{LpTypeProblem, SolveError};
-use llp_num::ScaledF64;
+use llp_sampling::weight_index::WeightIndex;
 use rand::Rng;
 
 /// How element weights grow on violation.
@@ -180,7 +186,10 @@ pub struct ClarksonStats {
     /// The concrete weight factor `F`.
     pub factor: f64,
     /// After each *successful* iteration `t`: `log2 w_t(S)` (for checking
-    /// the envelope `n^{t/νr} ≤ w_t(S) ≤ e^{t/10ν}·n` of Eq. (2)).
+    /// the envelope `n^{t/νr} ≤ w_t(S) ≤ e^{t/10ν}·n` of Eq. (2)). This is
+    /// the `WeightIndex` total *after* the violator reweighting — exactly
+    /// the quantity iteration `t + 1` samples against, so the T10 envelope
+    /// check measures the weights actually used.
     pub weight_log2_trace: Vec<f64>,
     /// Violator count per iteration (successful or not).
     pub violators_trace: Vec<usize>,
@@ -214,30 +223,24 @@ pub fn solve<P: LpTypeProblem, R: Rng>(
         ..ClarksonStats::default()
     };
 
-    // Exponent array: weight of element i is factor^exponent[i].
-    let mut exponent: Vec<u32> = vec![0; n];
-    // Scratch buffers reused across iterations.
-    let mut prefix: Vec<ScaledF64> = Vec::with_capacity(n);
+    // The weight state of the whole run: maintained incrementally, never
+    // rebuilt — iteration t + 1 samples against exactly the sums that
+    // iteration t's violator updates left behind.
+    let mut weights = WeightIndex::uniform(n);
+    // Scratch buffer reused across iterations.
     let mut net_idx: Vec<usize> = Vec::with_capacity(m);
 
     while stats.iterations < cfg.max_iterations {
         stats.iterations += 1;
 
-        // --- Sample the ε-net with probability proportional to weight. ---
-        prefix.clear();
-        let mut total = ScaledF64::ZERO;
-        for &e in &exponent {
-            total += ScaledF64::powi(factor, e);
-            prefix.push(total);
-        }
+        // --- Sample the ε-net with probability proportional to weight:
+        // m O(log n) tree descents against the standing index. ---
         net_idx.clear();
         if m >= n {
             net_idx.extend(0..n);
         } else {
             for _ in 0..m {
-                let t = total * ScaledF64::from_f64(rng.random_range(0.0..1.0f64));
-                let idx = prefix.partition_point(|p| *p <= t).min(n - 1);
-                net_idx.push(idx);
+                net_idx.push(weights.draw(rng));
             }
             net_idx.sort_unstable();
             net_idx.dedup();
@@ -252,48 +255,26 @@ pub fn solve<P: LpTypeProblem, R: Rng>(
         };
 
         // --- Violators and their weight: the O(n) hot scan, chunked over
-        // the llp_par pool. Chunk boundaries are fixed and partial sums
-        // merge in chunk order, so the violator list (ascending indices)
-        // and the weight sum are bit-identical for any LLP_THREADS. ---
-        let (violators, w_violators) = llp_par::par_map_reduce(
-            constraints,
-            llp_par::DEFAULT_CHUNK,
-            (Vec::new(), ScaledF64::ZERO),
-            |base, chunk| {
-                let mut idx = Vec::with_capacity(64);
-                let mut w = ScaledF64::ZERO;
-                for (off, c) in chunk.iter().enumerate() {
-                    if problem.violates(&solution, c) {
-                        idx.push(base + off);
-                        w += ScaledF64::powi(factor, exponent[base + off]);
-                    }
-                }
-                (idx, w)
-            },
-            |(mut idx_a, w_a), (idx_b, w_b)| {
-                // ZERO + w is exact, so moving the first chunk's vec out
-                // instead of copying it keeps the result bit-identical.
-                if idx_a.is_empty() {
-                    return (idx_b, w_a + w_b);
-                }
-                idx_a.extend(idx_b);
-                (idx_a, w_a + w_b)
-            },
-        );
+        // the llp_par pool with fixed boundaries and in-order merges, so
+        // the violator list (ascending indices) and the weight sum are
+        // bit-identical for any LLP_THREADS. ---
+        let (violators, w_violators) =
+            crate::lptype::scan_violators_weighted(problem, &solution, constraints, &weights);
         stats.violators_trace.push(violators.len());
 
-        let success = w_violators.ratio(total) <= eps;
+        let success = w_violators.ratio(weights.total()) <= eps;
         if success {
             if violators.is_empty() {
                 return Ok((solution, stats));
             }
             stats.successful_iterations += 1;
             for &i in &violators {
-                exponent[i] += 1;
+                weights.multiply(i, factor);
             }
-            // log2 of the new total for the Eq. (2) trace.
-            let new_total = total + w_violators * ScaledF64::from_f64(factor - 1.0);
-            stats.weight_log2_trace.push(new_total.log2());
+            // The Eq. (2) trace logs the index's own post-update total —
+            // the same value the next iteration samples and tests against,
+            // not a side-channel recomputation that could drift from it.
+            stats.weight_log2_trace.push(weights.total().log2());
         } else if cfg.failure_policy == FailurePolicy::Abort {
             return Err((ClarksonError::NetFailure, stats));
         }

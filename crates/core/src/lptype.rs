@@ -125,3 +125,45 @@ pub fn count_violations<P: LpTypeProblem>(
         |a, b| a + b,
     )
 }
+
+/// The fused violator scan of Algorithm 1's hot path: violator indices
+/// (ascending) plus their total weight read off a standing
+/// [`WeightIndex`](llp_sampling::weight_index::WeightIndex) — one
+/// chunk-parallel pass over the two hot predicates (violation test +
+/// O(1) weight lookup), merged in chunk order so both outputs are
+/// bit-identical for any `LLP_THREADS`. Shared by the RAM solver and the
+/// coordinator/MPC holders; keeping one copy is part of the determinism
+/// contract.
+pub fn scan_violators_weighted<P: LpTypeProblem>(
+    problem: &P,
+    solution: &P::Solution,
+    constraints: &[P::Constraint],
+    index: &llp_sampling::weight_index::WeightIndex,
+) -> (Vec<usize>, llp_num::ScaledF64) {
+    use llp_num::ScaledF64;
+    llp_par::par_map_reduce(
+        constraints,
+        llp_par::DEFAULT_CHUNK,
+        (Vec::new(), ScaledF64::ZERO),
+        |base, chunk| {
+            let mut idx = Vec::with_capacity(64);
+            let mut w = ScaledF64::ZERO;
+            for (off, c) in chunk.iter().enumerate() {
+                if problem.violates(solution, c) {
+                    idx.push(base + off);
+                    w += index.get(base + off);
+                }
+            }
+            (idx, w)
+        },
+        |(mut idx_a, w_a), (idx_b, w_b)| {
+            // ZERO + w is exact, so moving the first chunk's vec out
+            // instead of copying keeps the result bit-identical.
+            if idx_a.is_empty() {
+                return (idx_b, w_a + w_b);
+            }
+            idx_a.extend(idx_b);
+            (idx_a, w_a + w_b)
+        },
+    )
+}

@@ -14,9 +14,16 @@
 //!   the `m` draws across sites according to site weights (Lemma 3.7),
 //!   which needs exact binomial sampling.
 //!
+//! [`weight_index::WeightIndex`] is the *incremental* realization shared
+//! by the RAM solver and the coordinator/MPC holders: a Fenwick tree over
+//! `ScaledF64` weights giving O(log n) reweighting and O(log n) inversion
+//! sampling without ever rebuilding a prefix table (only violators change
+//! between Clarkson iterations, so rebuilds are pure waste).
+//!
 //! [`epsnet`] holds the sample-size formula of Eq. (1).
 
 pub mod discrete;
 pub mod epsnet;
 pub mod reservoir;
+pub mod weight_index;
 pub mod weighted;

@@ -82,6 +82,18 @@ fn f2_hard_instances_always_valid() {
 }
 
 #[test]
+fn t14_weight_paths_agree_on_totals() {
+    let t = bench::t14_weight_index(true);
+    let cm = col(&t, "log2_match");
+    for row in &t.rows {
+        assert_eq!(
+            row[cm], "true",
+            "incremental and rebuild weight totals diverged: {row:?}"
+        );
+    }
+}
+
+#[test]
 fn t12_protocol_bits_decrease_with_r() {
     let t = bench::t12_protocol_scaling(true);
     let (cn, cr, cb) = (col(&t, "n"), col(&t, "r"), col(&t, "bits"));

@@ -15,7 +15,16 @@
 //! than one `DEFAULT_CHUNK` (4096), so the coordinator/MPC legs use
 //! inputs sized to put >4096 constraints on each site/machine, and
 //! `weight_oracle_helpers_are_thread_count_invariant` drives the
-//! multi-chunk merges of every `WeightOracle` helper directly. The
+//! multi-chunk merges of every `WeightOracle` helper directly. The RAM,
+//! coordinator, and MPC solvers all run their sampling off persistent
+//! `WeightIndex` state now (incremental Fenwick updates instead of prefix
+//! rebuilds): the model legs cover that path end-to-end — the index is
+//! itself purely sequential, and the one parallel piece feeding it (the
+//! fused violator scan of `SiteWeights::scan_and_stage`) is additionally
+//! driven head-on by
+//! `site_weights_scan_and_sampling_are_thread_count_invariant`, with
+//! accepted verdicts applied between probes so the *evolved* incremental
+//! state is compared, not just a fresh index. The
 //! streaming legs are different: the streaming model's per-pass scans are
 //! *sequential by design* (a pass is one-way I/O over the stream), so no
 //! `llp_par` call exists there today — those legs lock the contract down
@@ -240,6 +249,51 @@ fn weight_oracle_helpers_are_thread_count_invariant() {
         "probe should be violated by some constraints"
     );
     assert!(viol_w.ratio(total) > 0.0);
+}
+
+#[test]
+fn site_weights_scan_and_sampling_are_thread_count_invariant() {
+    // The WeightIndex-backed holder state: drive scan_and_stage on a
+    // ~10-chunk slice through several accepted rounds, so the violator
+    // lists, staged commits, O(1) totals, and the index-backed inversion
+    // draws are compared across thread counts on *evolving* incremental
+    // state. Only the fused scan touches the llp_par pool — the Fenwick
+    // updates and descents are sequential by construction — so every
+    // field must match bit-for-bit.
+    use lodim_lp::bigdata::common::SiteWeights;
+    use lodim_lp::core::lptype::LpTypeProblem;
+
+    let mut rng = StdRng::seed_from_u64(SEED + 80);
+    let (lp, cs) = lodim_lp::workloads::random_lp(N_BIG, 3, &mut rng);
+    let probes: Vec<_> = (0..4)
+        .map(|i| {
+            lp.solve_subset(&cs[i * 64..i * 64 + 48], &mut rng)
+                .expect("subset solvable")
+        })
+        .collect();
+
+    let run = |threads: usize| {
+        llp_par::with_threads(threads, || {
+            let mut site = SiteWeights::new(cs.len(), 6.0);
+            let mut rng = StdRng::seed_from_u64(SEED + 81);
+            let mut out = Vec::new();
+            for probe in &probes {
+                let (w, count) = site.scan_and_stage(&lp, probe, &cs);
+                site.resolve(true);
+                let picked = site.sample_indices(100, &mut rng);
+                out.push((w, count, site.total(), picked));
+            }
+            out
+        })
+    };
+    let reference = run(1);
+    assert!(
+        reference.iter().any(|(_, count, _, _)| *count > 0),
+        "probes should produce violators"
+    );
+    for threads in [2usize, 4, 16] {
+        assert_eq!(run(threads), reference, "threads={threads}");
+    }
 }
 
 #[test]

@@ -6,6 +6,7 @@ use lodim_lp::core::clarkson::ClarksonConfig;
 use lodim_lp::core::lptype::{count_violations, LpTypeProblem};
 use lodim_lp::lowerbound::{augindex, reduction};
 use lodim_lp::num::{Rat, ScaledF64};
+use lodim_lp::sampling::weight_index::WeightIndex;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -85,6 +86,117 @@ proptest! {
         prop_assert_eq!(count_violations(&p, &ball, &pts), 0);
         let direct = p.solve_subset(&pts, &mut rng).expect("solvable");
         prop_assert!((ball.radius - direct.radius).abs() < 1e-5 * direct.radius.max(1.0));
+    }
+}
+
+// --------------------------------------------------------------------
+// WeightIndex against a naive recomputed prefix-sum reference.
+//
+// The Fenwick tree accumulates multiplicative updates as node-level
+// additions, so its internal sums associate differently from a fresh
+// left-to-right prefix fold — exactly the drift the differential must
+// bound. The naive reference applies the identical point updates to a
+// plain weight vector and recomputes prefixes from scratch on every
+// probe, the way `clarkson::solve` did before the index existed.
+// --------------------------------------------------------------------
+
+/// Runs one interleaved multiply/sample differential: after every
+/// multiply, one inversion target is resolved by the index and checked
+/// against a freshly folded prefix table (same target, 1e-9-relative
+/// boundary tolerance), and the totals are compared in log space.
+fn weight_index_differential(n: usize, base_exp: u32, ops: &[(usize, f64, f64)]) {
+    let start = ScaledF64::powi(2.0, base_exp);
+    let mut index = WeightIndex::from_weights(&vec![start; n]);
+    let mut naive: Vec<ScaledF64> = vec![start; n];
+    let check = |index: &WeightIndex, naive: &[ScaledF64], probe: f64| {
+        // Totals: identical point weights, different association order.
+        let naive_total: ScaledF64 = naive.iter().copied().sum();
+        assert!(
+            (index.total().log2() - naive_total.log2()).abs() <= 1e-6,
+            "total drift: index {} vs naive {}",
+            index.total().log2(),
+            naive_total.log2()
+        );
+
+        // One inversion draw against both realizations.
+        let t = index.total() * ScaledF64::from_f64(probe);
+        let idx = index.sample(t);
+        assert!(!index.get(idx).is_zero(), "zero-weight element selected");
+        let mut prefix: Vec<ScaledF64> = Vec::with_capacity(n);
+        let mut acc = ScaledF64::ZERO;
+        for &w in naive {
+            acc += w;
+            prefix.push(acc);
+        }
+        let naive_idx = prefix.partition_point(|p| *p <= t).min(n - 1);
+        if idx != naive_idx {
+            // Only a boundary-rounding disagreement is allowed: every
+            // prefix boundary separating the two picks must sit within
+            // 1e-9·W of the target.
+            let ft = t.ratio(naive_total);
+            for j in idx.min(naive_idx)..idx.max(naive_idx) {
+                let boundary = prefix[j].ratio(naive_total);
+                assert!(
+                    (boundary - ft).abs() <= 1e-9,
+                    "index picked {idx}, naive picked {naive_idx}, but the \
+                     boundary after {j} ({boundary}) is not at the target ({ft})"
+                );
+            }
+        }
+    };
+
+    // Probe the untouched (all-equal) state, then after every update.
+    for p in [0.0, 0.5, 0.999] {
+        check(&index, &naive, p);
+    }
+    for &(raw_i, factor, frac) in ops {
+        let i = raw_i % n;
+        index.multiply(i, factor);
+        naive[i] *= ScaledF64::from_f64(factor);
+        check(&index, &naive, frac);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random interleaved multiply/sample sequences agree with the naive
+    /// rebuilt-prefix reference, from single-element up, starting from
+    /// all-equal weights.
+    #[test]
+    fn prop_weight_index_matches_naive_prefix(
+        n in 1usize..160,
+        idxs in collection::vec(0usize..4096, 0..48),
+        factors in collection::vec(1.0f64..32.0, 0..48),
+        fracs in collection::vec(0.0f64..1.0, 0..48),
+    ) {
+        let ops: Vec<(usize, f64, f64)> = idxs
+            .into_iter()
+            .zip(factors)
+            .zip(fracs)
+            .map(|((i, f), p)| (i, f, p))
+            .collect();
+        weight_index_differential(n, 0, &ops);
+    }
+
+    /// The same differential with every weight starting at `2^e`,
+    /// `e ≥ 1100` — past `f64::MAX` before the first update, so any raw
+    /// `f64` shortcut inside the tree would saturate and diverge.
+    #[test]
+    fn prop_weight_index_survives_past_f64_overflow(
+        n in 1usize..80,
+        base_exp in 1100u32..1400,
+        idxs in collection::vec(0usize..4096, 1..32),
+        factors in collection::vec(1.0f64..1e6, 1..32),
+        fracs in collection::vec(0.0f64..1.0, 1..32),
+    ) {
+        let ops: Vec<(usize, f64, f64)> = idxs
+            .into_iter()
+            .zip(factors)
+            .zip(fracs)
+            .map(|((i, f), p)| (i, f, p))
+            .collect();
+        weight_index_differential(n, base_exp, &ops);
     }
 }
 
