@@ -1,4 +1,4 @@
-//! The Chan–Chen multi-pass streaming algorithm for 2-D LP [13].
+//! The Chan–Chen multi-pass streaming algorithm for 2-D LP \[13\].
 //!
 //! For `d = 2`, a linear program `min y : y ≥ s_j·x + c_j` asks for the
 //! minimum of the *upper envelope* `g(x) = max_j (s_j·x + c_j)` — a convex
@@ -136,7 +136,7 @@ pub fn minimize_envelope(lines: &[Line], x_lo: f64, x_hi: f64, r: u32) -> ChanCh
     }
 }
 
-/// The published pass bound `O(r^{d-1})` of [13], used in comparison
+/// The published pass bound `O(r^{d-1})` of \[13\], used in comparison
 /// tables for `d > 2` (constant factor 1).
 pub fn published_pass_bound(d: u32, r: u32) -> u64 {
     u64::from(r).pow(d.saturating_sub(1))

@@ -1,4 +1,4 @@
-//! Classic Clarkson reweighting [16] — the fixed-factor ablation.
+//! Classic Clarkson reweighting \[16\] — the fixed-factor ablation.
 //!
 //! Clarkson's original iterative reweighting doubles the weight of every
 //! violator; the expected number of successful iterations is `O(ν·log n)`.

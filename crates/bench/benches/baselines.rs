@@ -13,8 +13,7 @@ use std::hint::black_box;
 const N: usize = 100_000;
 
 fn setup() -> (LpProblem, Vec<Halfspace>, Vec<chan_chen::Line>) {
-    let mut rng = StdRng::seed_from_u64(1);
-    let lines = llp_workloads::random_lines(N, &mut rng);
+    let lines = llp_workloads::random_lines(N, 1);
     let cs: Vec<Halfspace> = lines
         .iter()
         .map(|l| Halfspace::new(vec![l.slope, -1.0], -l.intercept))

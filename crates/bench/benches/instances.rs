@@ -13,8 +13,7 @@ fn bench_svm_streaming(c: &mut Criterion) {
     let mut group = c.benchmark_group("t6_svm_streaming");
     group.sample_size(10);
     for d in [2usize, 3] {
-        let mut rng = StdRng::seed_from_u64(1);
-        let (pts, _) = llp_workloads::separable_clouds(50_000, d, 0.5, &mut rng);
+        let (pts, _) = llp_workloads::separable_clouds(50_000, d, 0.5, 1);
         let p = SvmProblem::new(d);
         group.bench_function(BenchmarkId::new("d", d), |b| {
             b.iter(|| {
@@ -39,8 +38,7 @@ fn bench_meb_streaming(c: &mut Criterion) {
     let mut group = c.benchmark_group("t7_meb_streaming");
     group.sample_size(10);
     for d in [2usize, 3] {
-        let mut rng = StdRng::seed_from_u64(3);
-        let pts = llp_workloads::sphere_shell(50_000, d, 3.0, &mut rng);
+        let pts = llp_workloads::sphere_shell(50_000, d, 3.0, 3);
         let p = MebProblem::new(d);
         group.bench_function(BenchmarkId::new("d", d), |b| {
             b.iter(|| {

@@ -16,8 +16,7 @@ fn bench_ram_meta(c: &mut Criterion) {
     let mut group = c.benchmark_group("t1_ram_meta");
     group.sample_size(10);
     for r in [1u32, 2, 4] {
-        let mut rng = StdRng::seed_from_u64(1);
-        let (p, cs) = llp_workloads::random_lp(N, 2, &mut rng);
+        let (p, cs) = llp_workloads::random_lp(N, 2, 1);
         group.bench_function(BenchmarkId::new("r", r), |b| {
             b.iter(|| {
                 let mut rr = StdRng::seed_from_u64(2);
@@ -35,8 +34,7 @@ fn bench_streaming(c: &mut Criterion) {
     let mut group = c.benchmark_group("t2_streaming");
     group.sample_size(10);
     for r in [1u32, 2, 4] {
-        let mut rng = StdRng::seed_from_u64(3);
-        let (p, cs) = llp_workloads::random_lp(N, 2, &mut rng);
+        let (p, cs) = llp_workloads::random_lp(N, 2, 3);
         for (mode, name) in [
             (SamplingMode::TwoPassIid, "2pass"),
             (SamplingMode::OnePassSpeculative, "1pass"),
@@ -59,8 +57,7 @@ fn bench_coordinator(c: &mut Criterion) {
     let mut group = c.benchmark_group("t3_coordinator");
     group.sample_size(10);
     for k in [2usize, 16] {
-        let mut rng = StdRng::seed_from_u64(5);
-        let (p, cs) = llp_workloads::random_lp(N, 2, &mut rng);
+        let (p, cs) = llp_workloads::random_lp(N, 2, 5);
         group.bench_function(BenchmarkId::new("k", k), |b| {
             b.iter(|| {
                 let mut rr = StdRng::seed_from_u64(6);
@@ -78,8 +75,7 @@ fn bench_mpc(c: &mut Criterion) {
     let mut group = c.benchmark_group("t4_mpc");
     group.sample_size(10);
     for delta in [0.33f64, 0.5] {
-        let mut rng = StdRng::seed_from_u64(7);
-        let (p, cs) = llp_workloads::random_lp(N, 2, &mut rng);
+        let (p, cs) = llp_workloads::random_lp(N, 2, 7);
         group.bench_function(BenchmarkId::new("delta", format!("{delta:.2}")), |b| {
             b.iter(|| {
                 let mut rr = StdRng::seed_from_u64(8);

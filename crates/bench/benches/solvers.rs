@@ -17,8 +17,7 @@ fn bench_seidel(c: &mut Criterion) {
     group.sample_size(20);
     for d in [2usize, 4, 6] {
         for m in [1_000usize, 10_000] {
-            let mut rng = StdRng::seed_from_u64(1);
-            let (p, cs) = llp_workloads::random_lp(m, d, &mut rng);
+            let (p, cs) = llp_workloads::random_lp(m, d, 1);
             group.bench_with_input(
                 BenchmarkId::new(format!("d{d}"), m),
                 &(p, cs),
@@ -43,8 +42,7 @@ fn bench_lexico(c: &mut Criterion) {
     let mut group = c.benchmark_group("lexicographic_lp");
     group.sample_size(20);
     for d in [2usize, 4] {
-        let mut rng = StdRng::seed_from_u64(3);
-        let (p, cs) = llp_workloads::random_lp(5_000, d, &mut rng);
+        let (p, cs) = llp_workloads::random_lp(5_000, d, 3);
         group.bench_function(BenchmarkId::new("lex_min", d), |b| {
             b.iter(|| {
                 let mut r = StdRng::seed_from_u64(4);
@@ -64,8 +62,7 @@ fn bench_welzl(c: &mut Criterion) {
     let mut group = c.benchmark_group("welzl_meb");
     group.sample_size(20);
     for d in [2usize, 3, 5] {
-        let mut rng = StdRng::seed_from_u64(5);
-        let pts = llp_workloads::ball_cloud(20_000, d, 5.0, &mut rng);
+        let pts = llp_workloads::ball_cloud(20_000, d, 5.0, 5);
         group.bench_function(BenchmarkId::new("meb", d), |b| {
             b.iter(|| {
                 let mut r = StdRng::seed_from_u64(6);
@@ -80,8 +77,7 @@ fn bench_svm_qp(c: &mut Criterion) {
     let mut group = c.benchmark_group("svm_active_set");
     group.sample_size(20);
     for d in [2usize, 4] {
-        let mut rng = StdRng::seed_from_u64(7);
-        let (pts, _) = llp_workloads::separable_clouds(10_000, d, 0.5, &mut rng);
+        let (pts, _) = llp_workloads::separable_clouds(10_000, d, 0.5, 7);
         let points: Vec<Vec<f64>> = pts.iter().map(|p: &SvmPoint| p.x.clone()).collect();
         let labels: Vec<i8> = pts.iter().map(|p| p.y).collect();
         group.bench_function(BenchmarkId::new("qp", d), |b| {

@@ -1,31 +1,172 @@
-//! Regenerates the experiment tables (see DESIGN.md §3 / EXPERIMENTS.md).
+//! Regenerates the experiment tables and the machine-readable scenario
+//! report (see DESIGN.md §3/§6).
 //!
 //! Usage:
 //! ```text
-//! experiments [--quick] [id ...]
+//! experiments [--quick] [--out PATH] [--label NAME] [--list]
+//!             [--check PATH] [id ...]
 //! ```
-//! With no ids, runs everything. `--quick` shrinks input sizes.
+//!
+//! * ids: any table id (`t1` … `t14`, `t13p`, `f1`, `f2`), `tables` (all
+//!   of them), `scenarios` (the registry grid), or `all` (both; the
+//!   default).
+//! * `--quick` shrinks every input size through one shared [`RunBudget`]
+//!   (the same budget the integration tests use).
+//! * When the scenario grid runs, the report is written as JSON to
+//!   `--out PATH`, or to `BENCH_<label>.json` with the label defaulting
+//!   to the unix timestamp — the file the repo's perf trajectory tracks.
+//!   Passing `--out` or `--label` runs the grid even when the ids alone
+//!   would not (so the requested file always exists).
+//! * `--check PATH` parses a previously written report back into
+//!   [`llp_bench::report::Report`] and validates it (grid coverage, zero
+//!   violations, cross-model objective agreement); exits non-zero on any
+//!   failure. No experiments run in this mode.
+//! * `--list` prints the registry without running anything.
+
+use llp_bench::report::{self, Report};
+use llp_bench::RunBudget;
+use llp_workloads::scenario::registry;
 
 fn main() {
     let mut quick = false;
+    let mut out: Option<String> = None;
+    let mut label: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut list = false;
     let mut ids: Vec<String> = Vec::new();
-    for arg in std::env::args().skip(1) {
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" | "-q" => quick = true,
+            "--out" => out = Some(expect_value(&mut args, "--out")),
+            "--label" => label = Some(expect_value(&mut args, "--label")),
+            "--check" => check = Some(expect_value(&mut args, "--check")),
+            "--list" => list = true,
             "--help" | "-h" => {
-                eprintln!("usage: experiments [--quick] [id ...]");
-                eprintln!("ids: {:?} or 'all' (default)", llp_bench::ALL);
+                eprintln!(
+                    "usage: experiments [--quick] [--out PATH] [--label NAME] [--list] \
+                     [--check PATH] [id ...]"
+                );
+                eprintln!(
+                    "ids: {:?}, 'tables', 'scenarios', or 'all' (default)",
+                    llp_bench::ALL
+                );
                 return;
             }
             id => ids.push(id.to_string()),
         }
     }
+    let budget = RunBudget::from_quick_flag(quick);
+
+    if let Some(path) = check {
+        check_report(&path);
+        return;
+    }
+    if list {
+        println!(
+            "{:<22} {:<24} {:>9} {:>3} {:>6} {:>2} {:>6}",
+            "scenario", "family", "n", "d", "seed", "r", "skew"
+        );
+        for sc in registry(budget) {
+            println!(
+                "{:<22} {:<24} {:>9} {:>3} {:>6} {:>2} {:>6}",
+                sc.name,
+                sc.family.name(),
+                sc.n,
+                sc.d,
+                sc.seed,
+                sc.r,
+                sc.skew.map_or("-".to_string(), |s| format!("{s}")),
+            );
+        }
+        return;
+    }
+
     if ids.is_empty() {
         ids.push("all".into());
     }
+    // --out/--label only make sense for the report: asking for them while
+    // naming ids that skip the grid would otherwise silently write
+    // nothing (and a later --check would read a stale file).
+    let mut run_scenarios = out.is_some() || label.is_some();
     for id in &ids {
-        for table in llp_bench::run(id, quick) {
-            println!("{}", table.render());
+        match id.as_str() {
+            "scenarios" => run_scenarios = true,
+            "all" | "tables" => {
+                run_scenarios |= id == "all";
+                for table_id in llp_bench::ALL {
+                    for table in llp_bench::run(table_id, budget) {
+                        println!("{}", table.render());
+                    }
+                }
+            }
+            id => {
+                for table in llp_bench::run(id, budget) {
+                    println!("{}", table.render());
+                }
+            }
+        }
+    }
+
+    if run_scenarios {
+        let label = label.unwrap_or_else(unix_timestamp);
+        let report = report::run_scenarios(budget, &label);
+        println!("{}", report.summary_table().render());
+        let path = out.unwrap_or_else(|| format!("BENCH_{label}.json"));
+        std::fs::write(&path, report.to_json()).unwrap_or_else(|e| {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        if let Err(e) = report::validate(&report) {
+            eprintln!("error: freshly generated report is invalid: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "wrote {path} ({} cells, {} scenarios, budget {})",
+            report.cells.len(),
+            report.cells.len() / report::MODELS.len(),
+            report.budget
+        );
+    }
+}
+
+fn expect_value(args: &mut impl Iterator<Item = String>, flag: &str) -> String {
+    args.next().unwrap_or_else(|| {
+        eprintln!("error: {flag} needs a value");
+        std::process::exit(2);
+    })
+}
+
+fn unix_timestamp() -> String {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs().to_string())
+        .unwrap_or_else(|_| "epoch".to_string())
+}
+
+fn check_report(path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let report = Report::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("error: {path} does not parse as a Report: {e}");
+        std::process::exit(1);
+    });
+    match report::validate(&report) {
+        Ok(()) => {
+            println!(
+                "{path}: ok — schema v{}, {} cells, {} scenarios, budget {}",
+                report.schema_version,
+                report.cells.len(),
+                report.cells.len() / report::MODELS.len(),
+                report.budget
+            );
+        }
+        Err(e) => {
+            eprintln!("error: {path} is invalid: {e}");
+            std::process::exit(1);
         }
     }
 }

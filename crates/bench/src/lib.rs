@@ -3,9 +3,18 @@
 //! recorded results).
 //!
 //! Each experiment is a function returning a [`Table`]; the `experiments`
-//! binary prints them. `quick` mode shrinks input sizes so the full suite
-//! runs in seconds (used by integration tests); full mode uses the sizes
-//! recorded in EXPERIMENTS.md.
+//! binary prints them. A single [`RunBudget`] threads from the `--quick`
+//! flag through every table *and* the scenario registry: `Quick` shrinks
+//! input sizes so the full suite runs in seconds (used by integration
+//! tests); `Full` uses the recorded sizes.
+//!
+//! The [`report`] module is the machine-readable side: it runs every
+//! registered scenario (see `llp_workloads::scenario`) in all four models
+//! and serializes the solver stats and meter readings to JSON.
+
+pub mod report;
+
+pub use llp_workloads::scenario::RunBudget;
 
 use llp_baselines::{chan_chen, clarkson_classic, naive};
 use llp_bigdata::coordinator as coord_impl;
@@ -104,6 +113,16 @@ pub fn experiment_mpc_config(delta: f64) -> MpcConfig {
     MpcConfig::lean(delta)
 }
 
+/// Solver RNG for an experiment cell with the given instance seed. The
+/// XOR salt decouples the solver's PRNG stream from the generator's: the
+/// workload generators seed their own `StdRng` from the same `u64`, and
+/// replaying that exact stream for sampling would correlate the
+/// algorithm's randomness with the instance bytes (exactly what the
+/// iteration-count and failure-rate tables must average away).
+pub fn solver_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15)
+}
+
 fn f(v: f64) -> String {
     if v == 0.0 {
         "0".into()
@@ -119,8 +138,8 @@ fn f(v: f64) -> String {
 /// small prefix — a solution violated by a nontrivial fraction of the
 /// input, so the violation scan does real work on both branches.
 pub fn violation_scan_fixture(n: usize) -> (LpProblem, Vec<Halfspace>, llp_geom::Point) {
-    let mut rng = StdRng::seed_from_u64(14_500);
-    let (p, cs) = llp_workloads::random_lp(n, 3, &mut rng);
+    let mut rng = solver_rng(14_500);
+    let (p, cs) = llp_workloads::random_lp(n, 3, 14_500);
     let sol = p
         .solve_subset(&cs[..64], &mut rng)
         .expect("prefix solvable");
@@ -209,21 +228,18 @@ pub fn run_weight_prefix_rebuild(
 // --------------------------------------------------------------------
 
 /// T1 — iterations and per-iteration success rate (Lemma 3.3, Claim 3.2).
-pub fn t1_meta_iterations(quick: bool) -> Table {
+pub fn t1_meta_iterations(budget: RunBudget) -> Table {
     let mut t = Table::new(
         "T1  Algorithm 1 iterations vs Lemma 3.3 bound 20*nu*r/9 (random LP)",
         &["n", "d", "r", "iters", "succ", "bound", "succ_rate"],
     );
-    let ns: &[usize] = if quick {
-        &[20_000]
-    } else {
-        &[100_000, 1_000_000]
-    };
+    let ns: &[usize] = budget.pick(&[20_000], &[100_000, 1_000_000]);
     for &n in ns {
         for d in [2usize, 3, 4] {
             for r in [1u32, 2, 4] {
-                let mut rng = StdRng::seed_from_u64(1000 + d as u64 + u64::from(r));
-                let (p, cs) = llp_workloads::random_lp(n, d, &mut rng);
+                let seed = 1000 + d as u64 + u64::from(r);
+                let mut rng = solver_rng(seed);
+                let (p, cs) = llp_workloads::random_lp(n, d, seed);
                 let (_, stats) = llp_core::clarkson_solve(&p, &cs, &experiment_config(r), &mut rng)
                     .expect("solvable");
                 let nu = p.combinatorial_dim();
@@ -249,7 +265,7 @@ pub fn t1_meta_iterations(quick: bool) -> Table {
 // --------------------------------------------------------------------
 
 /// T2 — streaming passes/space vs `r` (Theorem 1: space ~ n^{1/r}).
-pub fn t2_streaming(quick: bool) -> Table {
+pub fn t2_streaming(budget: RunBudget) -> Table {
     let mut t = Table::new(
         "T2  Streaming: passes & peak space vs r (Theorem 1, space ~ n^(1/r))",
         &[
@@ -264,15 +280,16 @@ pub fn t2_streaming(quick: bool) -> Table {
             "KB/n^(1/r)",
         ],
     );
-    let n = if quick { 50_000 } else { 1_000_000 };
+    let n = budget.pick(50_000, 1_000_000);
     for d in [2usize, 3] {
         for r in [1u32, 2, 3, 4] {
             for (mode, name) in [
                 (SamplingMode::TwoPassIid, "2pass"),
                 (SamplingMode::OnePassSpeculative, "1pass"),
             ] {
-                let mut rng = StdRng::seed_from_u64(2000 + d as u64 * 10 + u64::from(r));
-                let (p, cs) = llp_workloads::random_lp(n, d, &mut rng);
+                let seed = 2000 + d as u64 * 10 + u64::from(r);
+                let mut rng = solver_rng(seed);
+                let (p, cs) = llp_workloads::random_lp(n, d, seed);
                 let (sol, stats) =
                     stream_impl::solve(&p, &cs, &experiment_config(r), mode, &mut rng)
                         .expect("solvable");
@@ -301,18 +318,19 @@ pub fn t2_streaming(quick: bool) -> Table {
 // --------------------------------------------------------------------
 
 /// T3 — coordinator rounds and total communication vs `r` and `k`.
-pub fn t3_coordinator(quick: bool) -> Table {
+pub fn t3_coordinator(budget: RunBudget) -> Table {
     let mut t = Table::new(
         "T3  Coordinator: rounds & communication vs r, k (Theorem 2)",
         &[
             "n", "r", "k", "rounds", "iters", "comm_KB", "KB_up", "KB_down",
         ],
     );
-    let n = if quick { 50_000 } else { 1_000_000 };
+    let n = budget.pick(50_000, 1_000_000);
     for r in [1u32, 2, 4] {
         for k in [2usize, 8, 32] {
-            let mut rng = StdRng::seed_from_u64(3000 + u64::from(r) * 100 + k as u64);
-            let (p, cs) = llp_workloads::random_lp(n, 2, &mut rng);
+            let seed = 3000 + u64::from(r) * 100 + k as u64;
+            let mut rng = solver_rng(seed);
+            let (p, cs) = llp_workloads::random_lp(n, 2, seed);
             let (sol, stats) =
                 coord_impl::solve(&p, cs.clone(), k, &experiment_config(r), &mut rng)
                     .expect("solvable");
@@ -337,7 +355,7 @@ pub fn t3_coordinator(quick: bool) -> Table {
 // --------------------------------------------------------------------
 
 /// T4 — MPC rounds and per-machine load vs δ.
-pub fn t4_mpc(quick: bool) -> Table {
+pub fn t4_mpc(budget: RunBudget) -> Table {
     let mut t = Table::new(
         "T4  MPC: rounds & per-machine load vs delta (Theorem 3, load ~ n^delta)",
         &[
@@ -351,10 +369,11 @@ pub fn t4_mpc(quick: bool) -> Table {
             "KB/n^delta",
         ],
     );
-    let n = if quick { 50_000 } else { 1_000_000 };
+    let n = budget.pick(50_000, 1_000_000);
     for delta in [0.25f64, 1.0 / 3.0, 0.5] {
-        let mut rng = StdRng::seed_from_u64(4000 + (delta * 100.0) as u64);
-        let (p, cs) = llp_workloads::random_lp(n, 2, &mut rng);
+        let seed = 4000 + (delta * 100.0) as u64;
+        let mut rng = solver_rng(seed);
+        let (p, cs) = llp_workloads::random_lp(n, 2, seed);
         let (sol, stats) = mpc_impl::solve(&p, cs.clone(), &experiment_mpc_config(delta), &mut rng)
             .expect("solvable");
         assert_eq!(count_violations(&p, &sol, &cs), 0);
@@ -379,14 +398,13 @@ pub fn t4_mpc(quick: bool) -> Table {
 // --------------------------------------------------------------------
 
 /// T5 — ours vs Chan–Chen vs classic Clarkson vs naive on 2-D LP.
-pub fn t5_baselines(quick: bool) -> Table {
+pub fn t5_baselines(budget: RunBudget) -> Table {
     let mut t = Table::new(
         "T5  2-D LP streaming: ours vs Chan-Chen [13] vs classic Clarkson [16] vs naive",
         &["algorithm", "r", "passes", "space_items", "objective"],
     );
-    let n = if quick { 20_000 } else { 500_000 };
-    let mut rng = StdRng::seed_from_u64(5000);
-    let lines = llp_workloads::random_lines(n, &mut rng);
+    let n = budget.pick(20_000, 500_000);
+    let lines = llp_workloads::random_lines(n, 5000);
     // The same LP as halfspaces: y ≥ s·x + c  ⟺  s·x − y ≤ −c; min y.
     let cs: Vec<Halfspace> = lines
         .iter()
@@ -452,7 +470,7 @@ pub fn t5_baselines(quick: bool) -> Table {
 // --------------------------------------------------------------------
 
 /// T6 — hard-margin SVM in all three models (Theorem 5).
-pub fn t6_svm(quick: bool) -> Table {
+pub fn t6_svm(budget: RunBudget) -> Table {
     let mut t = Table::new(
         "T6  Linear SVM across models (Theorem 5)",
         &[
@@ -465,10 +483,11 @@ pub fn t6_svm(quick: bool) -> Table {
             "viol",
         ],
     );
-    let n = if quick { 20_000 } else { 200_000 };
+    let n = budget.pick(20_000, 200_000);
     for d in [2usize, 3] {
-        let mut rng = StdRng::seed_from_u64(6000 + d as u64);
-        let (pts, _) = llp_workloads::separable_clouds(n, d, 0.5, &mut rng);
+        let seed = 6000 + d as u64;
+        let mut rng = solver_rng(seed);
+        let (pts, _) = llp_workloads::separable_clouds(n, d, 0.5, seed);
         let p = SvmProblem::new(d);
 
         let (u, s) = stream_impl::solve(
@@ -517,7 +536,7 @@ pub fn t6_svm(quick: bool) -> Table {
 }
 
 /// T7 — minimum enclosing ball in all three models (Theorem 6).
-pub fn t7_meb(quick: bool) -> Table {
+pub fn t7_meb(budget: RunBudget) -> Table {
     let mut t = Table::new(
         "T7  MEB / Core Vector Machine across models (Theorem 6)",
         &[
@@ -530,10 +549,11 @@ pub fn t7_meb(quick: bool) -> Table {
             "viol",
         ],
     );
-    let n = if quick { 20_000 } else { 200_000 };
+    let n = budget.pick(20_000, 200_000);
     for d in [2usize, 3] {
-        let mut rng = StdRng::seed_from_u64(7000 + d as u64);
-        let pts = llp_workloads::sphere_shell(n, d, 3.0, &mut rng);
+        let seed = 7000 + d as u64;
+        let mut rng = solver_rng(seed);
+        let pts = llp_workloads::sphere_shell(n, d, 3.0, seed);
         let p = MebProblem::new(d);
 
         let (b, s) = stream_impl::solve(
@@ -587,14 +607,13 @@ pub fn t7_meb(quick: bool) -> Table {
 
 /// T8 — ablation of the weight update rate (the paper's key design
 /// choice).
-pub fn t8_ablation(quick: bool) -> Table {
+pub fn t8_ablation(budget: RunBudget) -> Table {
     let mut t = Table::new(
         "T8  Weight-factor ablation: n^(1/r) (paper) vs fixed rates",
         &["factor", "iters", "succ", "passes", "net", "peak_KB"],
     );
-    let n = if quick { 50_000 } else { 500_000 };
-    let mut rng0 = StdRng::seed_from_u64(8000);
-    let (p, cs) = llp_workloads::random_lp(n, 2, &mut rng0);
+    let n = budget.pick(50_000, 500_000);
+    let (p, cs) = llp_workloads::random_lp(n, 2, 8000);
     let run = |label: &str, factor: WeightFactor, t: &mut Table| {
         let cfg = ClarksonConfig {
             factor,
@@ -633,20 +652,20 @@ pub fn t8_ablation(quick: bool) -> Table {
 /// T9 — empirical iteration success rate vs the net-size multiplier
 /// (justifies the calibrated constants; Lemma 2.2 budget is 1/3
 /// failures).
-pub fn t9_epsnet(quick: bool) -> Table {
+pub fn t9_epsnet(budget: RunBudget) -> Table {
     let mut t = Table::new(
         "T9  eps-net size multiplier vs empirical iteration failure rate",
         &["multiplier", "net", "avg_iters", "fail_rate"],
     );
-    let n = if quick { 20_000 } else { 200_000 };
-    let seeds = if quick { 5 } else { 20 };
+    let n = budget.pick(20_000, 200_000);
+    let seeds = budget.pick(5, 20);
     let run = |label: String, cfg: ClarksonConfig, t: &mut Table| {
         let mut total_iters = 0usize;
         let mut total_failures = 0usize;
         let mut net = 0usize;
         for seed in 0..seeds {
-            let mut rng = StdRng::seed_from_u64(9000 + seed);
-            let (p, cs) = llp_workloads::random_lp(n, 2, &mut rng);
+            let mut rng = solver_rng(9000 + seed);
+            let (p, cs) = llp_workloads::random_lp(n, 2, 9000 + seed);
             if let Ok((_, stats)) = llp_core::clarkson_solve(&p, &cs, &cfg, &mut rng) {
                 total_iters += stats.iterations;
                 // Failures = iterations that were neither successful nor
@@ -682,12 +701,12 @@ pub fn t9_epsnet(quick: bool) -> Table {
 // --------------------------------------------------------------------
 
 /// T10 — per-successful-iteration total weight vs the Eq. (2) envelope.
-pub fn t10_weight_envelope(quick: bool) -> Table {
+pub fn t10_weight_envelope(budget: RunBudget) -> Table {
     let mut t = Table::new(
         "T10  Weight growth vs Eq.(2): n^(t/nu*r) <= w_t(S) <= e^(t/10nu) * n",
         &["t", "log2_w", "lower", "upper", "ok"],
     );
-    let n = if quick { 50_000 } else { 500_000 };
+    let n = budget.pick(50_000, 500_000);
     let r = 4u32;
     // Small instances may converge before any weight update; scan seeds
     // until a run with a non-empty trace appears.
@@ -695,8 +714,8 @@ pub fn t10_weight_envelope(quick: bool) -> Table {
     let mut nu = 3.0;
     let mut log2n = (n as f64).log2();
     for seed in 0..32u64 {
-        let mut rng = StdRng::seed_from_u64(10_000 + seed);
-        let (p, cs) = llp_workloads::random_lp(n, 2, &mut rng);
+        let mut rng = solver_rng(10_000 + seed);
+        let (p, cs) = llp_workloads::random_lp(n, 2, 10_000 + seed);
         let (_, s) =
             llp_core::clarkson_solve(&p, &cs, &experiment_config(r), &mut rng).expect("ok");
         nu = p.combinatorial_dim() as f64;
@@ -737,16 +756,12 @@ pub fn t10_weight_envelope(quick: bool) -> Table {
 // --------------------------------------------------------------------
 
 /// T11 — exhaustive/randomized verification of the Lemma 5.6 reduction.
-pub fn t11_augindex(quick: bool) -> Table {
+pub fn t11_augindex(budget: RunBudget) -> Table {
     let mut t = Table::new(
         "T11  Aug-Index -> TCI reduction (Lemma 5.6): decoded-bit correctness",
         &["n", "cases", "correct", "valid_instances"],
     );
-    let sizes: &[usize] = if quick {
-        &[8, 32, 256]
-    } else {
-        &[8, 32, 256, 2048]
-    };
+    let sizes: &[usize] = budget.pick(&[8, 32, 256], &[8, 32, 256, 2048]);
     for &n in sizes {
         let mut cases = 0usize;
         let mut correct = 0usize;
@@ -798,16 +813,12 @@ pub fn t11_augindex(quick: bool) -> Table {
 
 /// T12 — TCI protocol bits vs `r` and `n`; fits `c · r · n^{1/r}` against
 /// the Ω(n^{1/r}/r²) lower bound.
-pub fn t12_protocol_scaling(quick: bool) -> Table {
+pub fn t12_protocol_scaling(budget: RunBudget) -> Table {
     let mut t = Table::new(
         "T12  TCI r-round protocol bits vs lower bound (Theorem 7)",
         &["n", "r", "bits", "bits/(r*n^(1/r))", "LB n^(1/r)/r^2"],
     );
-    let exps: &[u32] = if quick {
-        &[10, 12]
-    } else {
-        &[10, 12, 14, 16, 18]
-    };
+    let exps: &[u32] = budget.pick(&[10, 12], &[10, 12, 14, 16, 18]);
     for &e in exps {
         let n = 1usize << e;
         let x: Vec<u8> = (0..n - 1).map(|i| ((i * 13 + 5) % 2) as u8).collect();
@@ -833,7 +844,7 @@ pub fn t12_protocol_scaling(quick: bool) -> Table {
 // --------------------------------------------------------------------
 
 /// F1 — Figure 1: a TCI instance and its 2-D LP reduction agree.
-pub fn f1_tci_lp(quick: bool) -> Table {
+pub fn f1_tci_lp(budget: RunBudget) -> Table {
     let mut t = Table::new(
         "F1  TCI -> 2-D LP reduction (Figure 1): scan vs LP answers",
         &["instance", "n", "scan", "via_LP", "match"],
@@ -857,11 +868,7 @@ pub fn f1_tci_lp(quick: bool) -> Table {
             (scan == lp).to_string(),
         ]);
     }
-    let sizes: &[usize] = if quick {
-        &[16, 64]
-    } else {
-        &[16, 64, 256, 1024]
-    };
+    let sizes: &[usize] = budget.pick(&[16, 64], &[16, 64, 256, 1024]);
     for &n in sizes {
         use rand::Rng;
         let x: Vec<u8> = (0..n - 1).map(|_| u8::from(rng.random_bool(0.5))).collect();
@@ -886,7 +893,7 @@ pub fn f1_tci_lp(quick: bool) -> Table {
 
 /// F2 — Figure 2 / Section 5.3.3: the hard distribution's promises and
 /// the protocol cost on it.
-pub fn f2_hard_distribution(quick: bool) -> Table {
+pub fn f2_hard_distribution(budget: RunBudget) -> Table {
     let mut t = Table::new(
         "F2  Hard distribution D_r (Figure 2): validity, answer embedding, protocol cost",
         &[
@@ -900,14 +907,11 @@ pub fn f2_hard_distribution(quick: bool) -> Table {
             "LB N/r^2",
         ],
     );
-    let configs: &[(usize, u32)] = if quick {
-        &[(8, 1), (8, 2)]
-    } else {
-        &[(16, 1), (16, 2), (8, 3), (6, 4)]
-    };
+    let configs: &[(usize, u32)] =
+        budget.pick(&[(8, 1), (8, 2)], &[(16, 1), (16, 2), (8, 3), (6, 4)]);
     for &(n_base, rounds) in configs {
         let params = hard::HardParams { n_base, rounds };
-        let trials = if quick { 5 } else { 20 };
+        let trials = budget.pick(5, 20);
         let mut valid = 0usize;
         let mut ans_ok = 0usize;
         let mut max_slope = 0f64;
@@ -946,19 +950,15 @@ pub fn f2_hard_distribution(quick: bool) -> Table {
 // --------------------------------------------------------------------
 
 /// T13 — wall-clock time vs `n` (linearity of the per-pass work).
-pub fn t13_scaling(quick: bool) -> Table {
+pub fn t13_scaling(budget: RunBudget) -> Table {
     let mut t = Table::new(
         "T13  Wall-clock scaling of the streaming solver (r=2)",
         &["n", "time_ms", "ns_per_constraint"],
     );
-    let sizes: &[usize] = if quick {
-        &[10_000, 40_000]
-    } else {
-        &[10_000, 100_000, 1_000_000, 4_000_000]
-    };
+    let sizes: &[usize] = budget.pick(&[10_000, 40_000], &[10_000, 100_000, 1_000_000, 4_000_000]);
     for &n in sizes {
-        let mut rng = StdRng::seed_from_u64(14_000);
-        let (p, cs) = llp_workloads::random_lp(n, 2, &mut rng);
+        let mut rng = solver_rng(14_000);
+        let (p, cs) = llp_workloads::random_lp(n, 2, 14_000);
         let start = std::time::Instant::now();
         let (sol, _) = stream_impl::solve(
             &p,
@@ -985,7 +985,7 @@ pub fn t13_scaling(quick: bool) -> Table {
 /// determinism contract; the speedup column is what the multicore
 /// north-star buys (≈1 on a single-core host, where spawn overhead is all
 /// that is measured).
-pub fn t13p_parallel_scan(quick: bool) -> Table {
+pub fn t13p_parallel_scan(budget: RunBudget) -> Table {
     let mut t = Table::new(
         "T13p  Violation scan wall clock: threads=1 vs threads=N (bit-identical counts)",
         &[
@@ -998,17 +998,13 @@ pub fn t13p_parallel_scan(quick: bool) -> Table {
             "count_match",
         ],
     );
-    let sizes: &[usize] = if quick {
-        &[200_000]
-    } else {
-        &[1_000_000, 4_000_000]
-    };
+    let sizes: &[usize] = budget.pick(&[200_000], &[1_000_000, 4_000_000]);
     // Compare against the machine's parallelism, but always exercise at
     // least 2 workers so the parallel code path runs even on 1 core.
     let threads_n = llp_par::threads().max(2);
     for &n in sizes {
         let (p, cs, sol) = violation_scan_fixture(n);
-        let reps = if quick { 3 } else { 5 };
+        let reps = budget.pick(3, 5);
         let timed = |workers: usize| {
             llp_par::with_threads(workers, || {
                 let mut best = f64::INFINITY;
@@ -1040,7 +1036,7 @@ pub fn t13p_parallel_scan(quick: bool) -> Table {
 /// (O(|V| log n) updates + O(m log n) draws per iteration) vs the full
 /// O(n) prefix rebuild it replaced in `clarkson::solve`. The `log2_match`
 /// column asserts the two paths agree on the final total weight.
-pub fn t14_weight_index(quick: bool) -> Table {
+pub fn t14_weight_index(budget: RunBudget) -> Table {
     let mut t = Table::new(
         "T14  Weight bookkeeping per iteration: incremental WeightIndex vs full prefix rebuild",
         &[
@@ -1054,18 +1050,14 @@ pub fn t14_weight_index(quick: bool) -> Table {
             "log2_match",
         ],
     );
-    let sizes: &[usize] = if quick {
-        &[20_000]
-    } else {
-        &[100_000, 1_000_000]
-    };
-    let iters = if quick { 6 } else { 12 };
+    let sizes: &[usize] = budget.pick(&[20_000], &[100_000, 1_000_000]);
+    let iters = budget.pick(6, 12);
     let m = 512usize;
     for &n in sizes {
         let violators = (n / 200).max(1);
         let rounds = weight_update_fixture(n, iters, violators);
         let factor = (n as f64).sqrt();
-        let reps = if quick { 2 } else { 3 };
+        let reps = budget.pick(2, 3);
         let mut best_incr = f64::INFINITY;
         let mut best_rebuild = f64::INFINITY;
         let mut incr = (0.0, 0);
@@ -1104,26 +1096,26 @@ pub const ALL: &[&str] = &[
 ];
 
 /// Runs one experiment by id.
-pub fn run(id: &str, quick: bool) -> Vec<Table> {
+pub fn run(id: &str, budget: RunBudget) -> Vec<Table> {
     match id {
-        "t1" => vec![t1_meta_iterations(quick)],
-        "t2" => vec![t2_streaming(quick)],
-        "t3" => vec![t3_coordinator(quick)],
-        "t4" => vec![t4_mpc(quick)],
-        "t5" => vec![t5_baselines(quick)],
-        "t6" => vec![t6_svm(quick)],
-        "t7" => vec![t7_meb(quick)],
-        "t8" => vec![t8_ablation(quick)],
-        "t9" => vec![t9_epsnet(quick)],
-        "t10" => vec![t10_weight_envelope(quick)],
-        "t11" => vec![t11_augindex(quick)],
-        "t12" => vec![t12_protocol_scaling(quick)],
-        "t13" => vec![t13_scaling(quick)],
-        "t13p" => vec![t13p_parallel_scan(quick)],
-        "t14" => vec![t14_weight_index(quick)],
-        "f1" => vec![f1_tci_lp(quick)],
-        "f2" => vec![f2_hard_distribution(quick)],
-        "all" => ALL.iter().flat_map(|id| run(id, quick)).collect(),
+        "t1" => vec![t1_meta_iterations(budget)],
+        "t2" => vec![t2_streaming(budget)],
+        "t3" => vec![t3_coordinator(budget)],
+        "t4" => vec![t4_mpc(budget)],
+        "t5" => vec![t5_baselines(budget)],
+        "t6" => vec![t6_svm(budget)],
+        "t7" => vec![t7_meb(budget)],
+        "t8" => vec![t8_ablation(budget)],
+        "t9" => vec![t9_epsnet(budget)],
+        "t10" => vec![t10_weight_envelope(budget)],
+        "t11" => vec![t11_augindex(budget)],
+        "t12" => vec![t12_protocol_scaling(budget)],
+        "t13" => vec![t13_scaling(budget)],
+        "t13p" => vec![t13p_parallel_scan(budget)],
+        "t14" => vec![t14_weight_index(budget)],
+        "f1" => vec![f1_tci_lp(budget)],
+        "f2" => vec![f2_hard_distribution(budget)],
+        "all" => ALL.iter().flat_map(|id| run(id, budget)).collect(),
         other => panic!("unknown experiment id {other:?}; known: {ALL:?} or 'all'"),
     }
 }

@@ -1,0 +1,439 @@
+//! Machine-readable experiment reports: the scenario × model grid
+//! serialized to JSON.
+//!
+//! [`run_scenarios`] enumerates the scenario registry
+//! (`llp_workloads::scenario::registry`) and runs every scenario in all
+//! four models — RAM (Algorithm 1 directly), streaming, coordinator, and
+//! MPC — collecting solver statistics and the existing meter readings
+//! (space, communication, rounds, iterations) into one [`Cell`] per
+//! (scenario × model) pair. The resulting [`Report`] serializes to a
+//! standard JSON document (`BENCH_<label>.json`), parses back losslessly
+//! ([`Report::from_json`]), and [`validate`] checks the invariants CI
+//! relies on: full grid coverage, zero violations, and per-scenario
+//! objective agreement across models. Numbers round-trip exactly — the
+//! writer emits Rust's shortest-round-trip float formatting.
+
+use crate::RunBudget;
+use llp_bigdata::coordinator as coord_impl;
+use llp_bigdata::mpc::{self as mpc_impl, MpcConfig};
+use llp_bigdata::streaming::{self as stream_impl, SamplingMode};
+use llp_core::clarkson::ClarksonConfig;
+use llp_core::lptype::{count_violations, LpTypeProblem};
+use llp_workloads::partition_by_sizes;
+use llp_workloads::scenario::{registry, Scenario, ScenarioData};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Bumped whenever a [`Cell`]/[`Report`] field changes meaning; consumers
+/// (the perf-trajectory differ, CI `--check`) refuse unknown versions.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// The models every scenario runs under, in report order.
+pub const MODELS: &[&str] = &["ram", "streaming", "coordinator", "mpc"];
+
+/// Sites used by the coordinator leg of every scenario.
+pub const COORD_SITES: usize = 8;
+
+/// Load exponent δ used by the MPC leg of every scenario.
+pub const MPC_DELTA: f64 = 0.4;
+
+/// One (scenario × model) measurement. Fields that a model does not
+/// produce are zero (e.g. `passes` outside streaming, `comm_bits` outside
+/// the coordinator model).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Cell {
+    /// Registry scenario name.
+    pub scenario: String,
+    /// Generator family wire name.
+    pub family: String,
+    /// `"ram" | "streaming" | "coordinator" | "mpc"`.
+    pub model: String,
+    /// Materialized constraint/point count.
+    pub n: u64,
+    /// Ambient dimension.
+    pub d: u64,
+    /// The scenario's explicit generator seed.
+    pub seed: u64,
+    /// Objective value of the returned solution.
+    pub objective: f64,
+    /// Violations of the returned solution over the full input (must be 0).
+    pub violations: u64,
+    /// Iterations of Algorithm 1.
+    pub iterations: u64,
+    /// Stream passes (streaming model only).
+    pub passes: u64,
+    /// Model rounds (coordinator/MPC only).
+    pub rounds: u64,
+    /// Peak retained space in bits (streaming only).
+    pub space_bits: u64,
+    /// Total communication in bits (coordinator only).
+    pub comm_bits: u64,
+    /// Heaviest single round in bits (coordinator only).
+    pub max_round_bits: u64,
+    /// Max per-machine per-round load in bits (MPC only).
+    pub load_bits: u64,
+    /// Sum over rounds of the per-round max load (MPC only; the
+    /// critical-path congestion figure skewed partitions distort).
+    pub total_load_bits: u64,
+    /// Wall-clock time of the solve, milliseconds.
+    pub wall_ms: f64,
+}
+
+/// A full scenario-grid run: the file format of `BENCH_<label>.json`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// Schema version ([`SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Free-form run label (CI passes a timestamp or branch name).
+    pub label: String,
+    /// `"quick"` or `"full"`.
+    pub budget: String,
+    /// One cell per (scenario × model), scenario-major in registry order.
+    pub cells: Vec<Cell>,
+}
+
+impl Report {
+    /// Parses a report from a JSON document.
+    pub fn from_json(s: &str) -> Result<Self, serde::Error> {
+        <Self as Deserialize>::from_json(s)
+    }
+
+    /// Renders the report as a JSON document.
+    pub fn to_json(&self) -> String {
+        Serialize::to_json(self)
+    }
+
+    /// A human summary of the grid (one row per cell).
+    pub fn summary_table(&self) -> crate::Table {
+        let mut t = crate::Table::new(
+            &format!(
+                "S1  Scenario grid ({} budget, label {:?})",
+                self.budget, self.label
+            ),
+            &[
+                "scenario",
+                "family",
+                "model",
+                "n",
+                "objective",
+                "viol",
+                "iters",
+                "passes",
+                "rounds",
+                "space_KB",
+                "comm_KB",
+                "load_KB",
+                "ms",
+            ],
+        );
+        let kb = |bits: u64| {
+            if bits == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.2}", bits as f64 / 8192.0)
+            }
+        };
+        let ct = |v: u64| {
+            if v == 0 {
+                "-".to_string()
+            } else {
+                v.to_string()
+            }
+        };
+        for c in &self.cells {
+            t.push(vec![
+                c.scenario.clone(),
+                c.family.clone(),
+                c.model.clone(),
+                c.n.to_string(),
+                format!("{:.6}", c.objective),
+                c.violations.to_string(),
+                c.iterations.to_string(),
+                ct(c.passes),
+                ct(c.rounds),
+                kb(c.space_bits),
+                kb(c.comm_bits),
+                kb(c.load_bits),
+                format!("{:.1}", c.wall_ms),
+            ]);
+        }
+        t
+    }
+}
+
+/// Runs the full scenario × model grid at the given budget.
+pub fn run_scenarios(budget: RunBudget, label: &str) -> Report {
+    let mut cells = Vec::new();
+    for sc in registry(budget) {
+        cells.extend(run_scenario(&sc));
+    }
+    Report {
+        schema_version: SCHEMA_VERSION,
+        label: label.to_string(),
+        budget: budget.name().to_string(),
+        cells,
+    }
+}
+
+/// Runs one scenario in all four models.
+pub fn run_scenario(sc: &Scenario) -> Vec<Cell> {
+    match sc.generate() {
+        ScenarioData::Lp(p, cs) => grid(sc, &p, cs),
+        ScenarioData::Svm(p, pts) => grid(sc, &p, pts),
+        ScenarioData::Meb(p, pts) => grid(sc, &p, pts),
+    }
+}
+
+fn grid<P: LpTypeProblem>(sc: &Scenario, problem: &P, data: Vec<P::Constraint>) -> Vec<Cell> {
+    MODELS
+        .iter()
+        .map(|model| run_cell(sc, problem, &data, model))
+        .collect()
+}
+
+/// A deterministic per-(scenario, model) solver seed, decoupled from the
+/// generator seed so re-seeding one never perturbs the other.
+fn solver_seed(sc: &Scenario, model: &str) -> u64 {
+    let mut h = sc.seed ^ 0x9e37_79b9_7f4a_7c15;
+    for b in model.bytes() {
+        h = h.wrapping_mul(0x100_0000_01b3).wrapping_add(u64::from(b));
+    }
+    h
+}
+
+fn run_cell<P: LpTypeProblem>(
+    sc: &Scenario,
+    problem: &P,
+    data: &[P::Constraint],
+    model: &str,
+) -> Cell {
+    let cfg = ClarksonConfig::lean(sc.r);
+    let mut rng = StdRng::seed_from_u64(solver_seed(sc, model));
+    let mut cell = Cell {
+        scenario: sc.name.to_string(),
+        family: sc.family.name().to_string(),
+        model: model.to_string(),
+        n: data.len() as u64,
+        d: sc.d as u64,
+        seed: sc.seed,
+        objective: 0.0,
+        violations: 0,
+        iterations: 0,
+        passes: 0,
+        rounds: 0,
+        space_bits: 0,
+        comm_bits: 0,
+        max_round_bits: 0,
+        load_bits: 0,
+        total_load_bits: 0,
+        wall_ms: 0.0,
+    };
+    // Harness work (cloning the data, cutting partitions) happens before
+    // the timer starts: wall_ms is solve time, comparable across models.
+    let solution = match model {
+        "ram" => {
+            let start = std::time::Instant::now();
+            let (sol, stats) = llp_core::clarkson_solve(problem, data, &cfg, &mut rng)
+                .unwrap_or_else(|e| panic!("{}/ram: {:?}", sc.name, e.0));
+            cell.wall_ms = start.elapsed().as_secs_f64() * 1000.0;
+            cell.iterations = stats.iterations as u64;
+            sol
+        }
+        "streaming" => {
+            let start = std::time::Instant::now();
+            let (sol, stats) =
+                stream_impl::solve(problem, data, &cfg, SamplingMode::TwoPassIid, &mut rng)
+                    .unwrap_or_else(|e| panic!("{}/streaming: {e:?}", sc.name));
+            cell.wall_ms = start.elapsed().as_secs_f64() * 1000.0;
+            cell.iterations = stats.iterations as u64;
+            cell.passes = stats.passes;
+            cell.space_bits = stats.peak_space_bits;
+            sol
+        }
+        "coordinator" => {
+            let sizes = sc.partition_sizes(data.len(), COORD_SITES);
+            let parts = partition_by_sizes(data.to_vec(), &sizes);
+            let start = std::time::Instant::now();
+            let (sol, stats) = coord_impl::solve_partitioned(problem, parts, &cfg, &mut rng)
+                .unwrap_or_else(|e| panic!("{}/coordinator: {e:?}", sc.name));
+            cell.wall_ms = start.elapsed().as_secs_f64() * 1000.0;
+            cell.iterations = stats.iterations as u64;
+            cell.rounds = stats.rounds;
+            cell.comm_bits = stats.total_bits;
+            cell.max_round_bits = stats.max_round_bits;
+            sol
+        }
+        "mpc" => {
+            let mpc_cfg = MpcConfig::lean(MPC_DELTA);
+            let start;
+            let (sol, stats) = match sc.skew {
+                // Skewed layouts cut the same machine count mpc::solve
+                // would use, just with geometric sizes.
+                Some(_) => {
+                    let k = mpc_impl::machine_count(data.len(), MPC_DELTA);
+                    let sizes = sc.partition_sizes(data.len(), k);
+                    let parts = partition_by_sizes(data.to_vec(), &sizes);
+                    start = std::time::Instant::now();
+                    mpc_impl::solve_partitioned(problem, parts, &mpc_cfg, &mut rng)
+                        .unwrap_or_else(|e| panic!("{}/mpc-skew: {e:?}", sc.name))
+                }
+                None => {
+                    let owned = data.to_vec();
+                    start = std::time::Instant::now();
+                    mpc_impl::solve(problem, owned, &mpc_cfg, &mut rng)
+                        .unwrap_or_else(|e| panic!("{}/mpc: {e:?}", sc.name))
+                }
+            };
+            cell.wall_ms = start.elapsed().as_secs_f64() * 1000.0;
+            cell.iterations = stats.iterations as u64;
+            cell.rounds = stats.rounds;
+            cell.load_bits = stats.max_load_bits;
+            cell.total_load_bits = stats.total_load_bits;
+            sol
+        }
+        other => panic!("unknown model {other:?}; known: {MODELS:?}"),
+    };
+    cell.objective = problem.objective_value(&solution);
+    cell.violations = count_violations(problem, &solution, data) as u64;
+    cell
+}
+
+/// Relative tolerance for cross-model objective agreement.
+pub const OBJECTIVE_TOL: f64 = 1e-5;
+
+/// Checks the invariants CI relies on, self-contained (no registry
+/// access, so reports from other commits still validate):
+/// schema version, known budget, non-empty grid, every scenario present
+/// in all four models exactly once, zero violations everywhere, and
+/// per-scenario objective agreement across models within
+/// [`OBJECTIVE_TOL`].
+pub fn validate(report: &Report) -> Result<(), String> {
+    if report.schema_version != SCHEMA_VERSION {
+        return Err(format!(
+            "schema version {} (expected {SCHEMA_VERSION})",
+            report.schema_version
+        ));
+    }
+    if RunBudget::parse(&report.budget).is_none() {
+        return Err(format!("unknown budget {:?}", report.budget));
+    }
+    if report.cells.is_empty() {
+        return Err("empty report".into());
+    }
+    let mut scenarios: Vec<&str> = report.cells.iter().map(|c| c.scenario.as_str()).collect();
+    scenarios.sort_unstable();
+    scenarios.dedup();
+    for name in scenarios {
+        let cells: Vec<&Cell> = report.cells.iter().filter(|c| c.scenario == name).collect();
+        for model in MODELS {
+            let found = cells.iter().filter(|c| c.model == *model).count();
+            if found != 1 {
+                return Err(format!(
+                    "scenario {name:?}: model {model:?} appears {found} times (expected 1)"
+                ));
+            }
+        }
+        if cells.len() != MODELS.len() {
+            return Err(format!(
+                "scenario {name:?}: {} cells for {} models",
+                cells.len(),
+                MODELS.len()
+            ));
+        }
+        for c in &cells {
+            if c.violations != 0 {
+                return Err(format!(
+                    "scenario {name:?}, model {:?}: {} violations",
+                    c.model, c.violations
+                ));
+            }
+        }
+        let reference = cells[0].objective;
+        for c in &cells[1..] {
+            let scale = reference.abs().max(c.objective.abs()).max(1.0);
+            if (c.objective - reference).abs() > OBJECTIVE_TOL * scale {
+                return Err(format!(
+                    "scenario {name:?}: objective disagreement — {} ({}) vs {} ({})",
+                    cells[0].model, reference, c.model, c.objective
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_cell(scenario: &str, model: &str, objective: f64) -> Cell {
+        Cell {
+            scenario: scenario.to_string(),
+            family: "random_lp".to_string(),
+            model: model.to_string(),
+            n: 1000,
+            d: 2,
+            seed: 7,
+            objective,
+            violations: 0,
+            iterations: 9,
+            passes: 18,
+            rounds: 0,
+            space_bits: 4096,
+            comm_bits: 0,
+            max_round_bits: 0,
+            load_bits: 0,
+            total_load_bits: 0,
+            wall_ms: 1.25,
+        }
+    }
+
+    fn demo_report() -> Report {
+        Report {
+            schema_version: SCHEMA_VERSION,
+            label: "demo".to_string(),
+            budget: "quick".to_string(),
+            cells: MODELS.iter().map(|m| demo_cell("s1", m, -0.75)).collect(),
+        }
+    }
+
+    #[test]
+    fn report_roundtrips_exactly() {
+        let r = demo_report();
+        let parsed = Report::from_json(&r.to_json()).expect("parse back");
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn validate_accepts_the_demo_grid() {
+        assert_eq!(validate(&demo_report()), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_missing_model() {
+        let mut r = demo_report();
+        r.cells.pop();
+        assert!(validate(&r).unwrap_err().contains("mpc"));
+    }
+
+    #[test]
+    fn validate_rejects_objective_disagreement() {
+        let mut r = demo_report();
+        r.cells[3].objective = -0.80;
+        assert!(validate(&r).unwrap_err().contains("disagreement"));
+    }
+
+    #[test]
+    fn validate_rejects_violations_and_bad_version() {
+        let mut r = demo_report();
+        r.cells[1].violations = 2;
+        assert!(validate(&r).unwrap_err().contains("violations"));
+        let mut r = demo_report();
+        r.schema_version = 999;
+        assert!(validate(&r).unwrap_err().contains("schema"));
+        let mut r = demo_report();
+        r.budget = "warp".to_string();
+        assert!(validate(&r).unwrap_err().contains("budget"));
+    }
+}

@@ -4,7 +4,7 @@
 //! broadcasts both), so any site can maintain its local weights — not by
 //! recomputing `F^{a(c)}` from the basis history each round, but
 //! incrementally: each site carries a persistent
-//! [`SiteWeights`](crate::common::SiteWeights) index and applies ×`F` to
+//! [`SiteWeights`] index and applies ×`F` to
 //! just the violators of each *accepted* basis (`O(|V_i| log n_i)` per
 //! accepted round instead of an `O(n_i · t · d)` rebuild). Weights are
 //! derived state and never travel, so the metered protocol is unchanged.
@@ -48,6 +48,9 @@ pub struct CoordinatorStats {
     pub net_size: usize,
     /// Number of sites.
     pub k: usize,
+    /// Heaviest single round, in bits (congestion read-out for skewed
+    /// partitions).
+    pub max_round_bits: u64,
 }
 
 /// Runs Algorithm 1 over constraints partitioned round-robin across `k`
@@ -63,9 +66,31 @@ pub fn solve<P: LpTypeProblem, R: Rng>(
     rng: &mut R,
 ) -> Result<(P::Solution, CoordinatorStats), BigDataError> {
     assert!(!data.is_empty(), "empty input");
-    let n = data.len();
+    assert!(k >= 1, "need at least one site");
+    let mut sites: Vec<Vec<P::Constraint>> = (0..k).map(|_| Vec::new()).collect();
+    for (i, c) in data.into_iter().enumerate() {
+        sites[i % k].push(c);
+    }
+    solve_partitioned(problem, sites, cfg, rng)
+}
+
+/// Runs Algorithm 1 over an explicit site partition — the model allows
+/// arbitrary (e.g. geometrically skewed) layouts, and the protocol is
+/// partition-oblivious; only the meter readings change.
+///
+/// # Panics
+/// Panics if the partition is empty or holds no constraints overall.
+pub fn solve_partitioned<P: LpTypeProblem, R: Rng>(
+    problem: &P,
+    partitions: Vec<Vec<P::Constraint>>,
+    cfg: &ClarksonConfig,
+    rng: &mut R,
+) -> Result<(P::Solution, CoordinatorStats), BigDataError> {
+    let n: usize = partitions.iter().map(Vec::len).sum();
+    assert!(n > 0, "empty input");
+    let k = partitions.len();
     let params = RunParams::derive(problem, n, cfg);
-    let mut sim = CoordSim::round_robin(data, k);
+    let mut sim = CoordSim::from_partitions(partitions);
     // Persistent per-site weight indices: every site tracks its own
     // partition's weights incrementally from the violator lists it scans
     // anyway in round 3, so no round ever recomputes a weight.
@@ -179,6 +204,7 @@ pub fn solve<P: LpTypeProblem, R: Rng>(
     stats.total_bits = sim.meter.total_bits();
     stats.bits_up = sim.meter.bits_up();
     stats.bits_down = sim.meter.bits_down();
+    stats.max_round_bits = sim.meter.max_round_bits();
     result.map(|s| (s, stats))
 }
 
@@ -253,6 +279,32 @@ mod tests {
         let per_iter_2 = s2.total_bits as f64 / s2.iterations as f64;
         let per_iter_64 = s64.total_bits as f64 / s64.iterations as f64;
         assert!(per_iter_64 > per_iter_2, "{per_iter_64} vs {per_iter_2}");
+    }
+
+    #[test]
+    fn skewed_partition_agrees_with_round_robin() {
+        let (p, cs) = random_lp(4000, 2, 85);
+        let mut rng = StdRng::seed_from_u64(86);
+        let (balanced, _) =
+            solve(&p, cs.clone(), 8, &ClarksonConfig::calibrated(2), &mut rng).unwrap();
+        // Geometric skew: site i holds 2^i-ish shares of the input.
+        let sizes = [31usize, 62, 125, 250, 500, 1000, 1032, 1000];
+        assert_eq!(sizes.iter().sum::<usize>(), cs.len());
+        let mut it = cs.clone().into_iter();
+        let parts: Vec<Vec<Halfspace>> = sizes
+            .iter()
+            .map(|&s| it.by_ref().take(s).collect())
+            .collect();
+        let (skewed, stats) =
+            solve_partitioned(&p, parts, &ClarksonConfig::calibrated(2), &mut rng).unwrap();
+        assert_eq!(count_violations(&p, &skewed, &cs), 0);
+        assert!(
+            (p.objective_value(&skewed) - p.objective_value(&balanced)).abs()
+                < 1e-5 * p.objective_value(&balanced).abs().max(1.0)
+        );
+        assert_eq!(stats.k, 8);
+        assert!(stats.max_round_bits > 0);
+        assert!(stats.max_round_bits <= stats.total_bits);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //!   the new basis.
 //! * [`mpc`] — Theorem 3: `O(ν/δ²)` rounds, `Õ(λn^δν²)·bit(S)` load per
 //!   machine, simulating the coordinator protocol over the `n^δ`-ary
-//!   broadcast / converge-cast trees of [23].
+//!   broadcast / converge-cast trees of \[23\].
 
 pub mod common;
 pub mod coordinator;

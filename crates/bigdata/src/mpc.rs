@@ -2,7 +2,7 @@
 //!
 //! With load budget `Õ(n^δ)` the input needs `k = ⌈n^{1-δ}⌉` machines, so
 //! the coordinator protocol cannot exchange even one bit with every
-//! machine directly. Following [23] (and Section 3.4), machine 0 plays the
+//! machine directly. Following \[23\] (and Section 3.4), machine 0 plays the
 //! coordinator and all coordinator↔sites traffic flows over an
 //! `f = ⌈n^δ⌉`-ary tree of depth `D = O(1/δ)`:
 //!
@@ -92,6 +92,9 @@ pub struct MpcStats {
     pub rounds: u64,
     /// Maximum per-machine per-round load in bits.
     pub max_load_bits: u64,
+    /// Sum over rounds of the per-round maximum load (critical-path
+    /// traffic; congestion read-out for skewed partitions).
+    pub total_load_bits: u64,
     /// Iterations of Algorithm 1.
     pub iterations: usize,
     /// Successful iterations.
@@ -144,6 +147,14 @@ impl Tree {
     }
 }
 
+/// The machine count Theorem 3 prescribes for `n` constraints at load
+/// exponent δ: `⌈n^{1-δ}⌉`, clamped to `[1, n]`. The single source of
+/// truth for both [`solve`] and any caller building an explicit
+/// partition for [`solve_partitioned`].
+pub fn machine_count(n: usize, delta: f64) -> usize {
+    ((n as f64).powf(1.0 - delta).ceil() as usize).clamp(1, n)
+}
+
 /// Runs Algorithm 1 over constraints partitioned evenly across
 /// `⌈n^{1-δ}⌉` machines.
 ///
@@ -157,12 +168,38 @@ pub fn solve<P: LpTypeProblem, R: Rng>(
 ) -> Result<(P::Solution, MpcStats), BigDataError> {
     assert!(!data.is_empty(), "empty input");
     let n = data.len();
-    let k = ((n as f64).powf(1.0 - cfg.delta).ceil() as usize).clamp(1, n);
+    let k = machine_count(n, cfg.delta);
+    let chunk = n.div_ceil(k).max(1);
+    let mut machines: Vec<Vec<P::Constraint>> = Vec::with_capacity(k);
+    let mut it = data.into_iter();
+    for _ in 0..k {
+        machines.push(it.by_ref().take(chunk).collect());
+    }
+    solve_partitioned(problem, machines, cfg, rng)
+}
+
+/// Runs Algorithm 1 over an explicit machine partition (machine count =
+/// partition count; the `⌈n^δ⌉`-ary tree topology is unchanged). The
+/// model allows arbitrary — e.g. geometrically skewed — layouts; the
+/// protocol is partition-oblivious and only the load meter readings
+/// change.
+///
+/// # Panics
+/// Panics if the partition is empty or holds no constraints overall.
+pub fn solve_partitioned<P: LpTypeProblem, R: Rng>(
+    problem: &P,
+    partitions: Vec<Vec<P::Constraint>>,
+    cfg: &MpcConfig,
+    rng: &mut R,
+) -> Result<(P::Solution, MpcStats), BigDataError> {
+    let n: usize = partitions.iter().map(Vec::len).sum();
+    assert!(n > 0, "empty input");
+    let k = partitions.len();
     let fanout = ((n as f64).powf(cfg.delta).ceil() as usize).max(2);
     let clarkson = cfg.clarkson();
     let params = RunParams::derive(problem, n, &clarkson);
 
-    let mut sim = MpcSim::balanced(data, k);
+    let mut sim = MpcSim::from_partitions(partitions);
     let tree = Tree { k, fanout };
     let depth = tree.depth();
     // Persistent per-machine weight indices, updated incrementally from
@@ -278,6 +315,7 @@ pub fn solve<P: LpTypeProblem, R: Rng>(
 
     stats.rounds = sim.meter.rounds();
     stats.max_load_bits = sim.meter.max_load_bits();
+    stats.total_load_bits = sim.meter.total_load_bits();
     result.map(|s| (s, stats))
 }
 
@@ -473,6 +511,36 @@ mod tests {
             llp_core::clarkson_solve(&p, &cs, &ClarksonConfig::calibrated(2), &mut rng).unwrap();
         let (v1, v2) = (p.objective_value(&sol), p.objective_value(&ram));
         assert!((v1 - v2).abs() < 1e-5 * v1.abs().max(1.0), "{v1} vs {v2}");
+    }
+
+    #[test]
+    fn skewed_machines_agree_with_balanced() {
+        let (p, cs) = random_lp(4000, 2, 99);
+        let mut rng = StdRng::seed_from_u64(100);
+        let cfg = MpcConfig::calibrated(0.4);
+        let (balanced, _) = solve(&p, cs.clone(), &cfg, &mut rng).unwrap();
+        // A deliberately lopsided layout: one machine holds half the data.
+        let k = 16usize;
+        let mut sizes = vec![2000usize];
+        sizes.extend(std::iter::repeat_n(2000 / (k - 1), k - 1));
+        let rem = 4000 - sizes.iter().sum::<usize>();
+        sizes[k - 1] += rem;
+        let mut it = cs.clone().into_iter();
+        let parts: Vec<Vec<Halfspace>> = sizes
+            .iter()
+            .map(|&s| it.by_ref().take(s).collect())
+            .collect();
+        let (skewed, stats) = solve_partitioned(&p, parts, &cfg, &mut rng).unwrap();
+        assert_eq!(count_violations(&p, &skewed, &cs), 0);
+        assert!(
+            (p.objective_value(&skewed) - p.objective_value(&balanced)).abs()
+                < 1e-5 * p.objective_value(&balanced).abs().max(1.0)
+        );
+        assert_eq!(stats.k, k);
+        assert!(stats.max_load_bits > 0);
+        // The critical-path total dominates any single round's peak.
+        assert!(stats.total_load_bits >= stats.max_load_bits);
+        assert!(stats.total_load_bits <= stats.rounds * stats.max_load_bits);
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! per-iteration success probability of Claim 3.2, and the weight envelope
 //! of Eq. (2) empirically (experiments T1/T10).
 //!
-//! Weights live in one [`WeightIndex`](llp_sampling::weight_index::WeightIndex)
+//! Weights live in one [`WeightIndex`]
 //! maintained across iterations: element `i`'s weight is the product of
 //! its `F` multiplications, and the Fenwick tree behind the index serves
 //! both the Lemma 2.2 inversion sampling (O(log n) per draw, no prefix
@@ -40,7 +40,7 @@ pub enum WeightFactor {
         /// The pass/round parameter `r ≥ 1`.
         r: u32,
     },
-    /// A fixed rate (e.g. 2.0 for classic Clarkson [16]) — ablation T8.
+    /// A fixed rate (e.g. 2.0 for classic Clarkson \[16\]) — ablation T8.
     Fixed(f64),
 }
 

@@ -2,8 +2,8 @@
 //! (Section 4.3).
 //!
 //! Constraints are points to enclose; `f(A)` is the unique smallest ball
-//! containing `A`. Combinatorial dimension ≤ `d + 1` [32]; VC dimension of
-//! complements of balls ≤ `d + 1` [44].
+//! containing `A`. Combinatorial dimension ≤ `d + 1` \[32\]; VC dimension of
+//! complements of balls ≤ `d + 1` \[44\].
 
 use crate::lptype::{LpTypeProblem, SolveError};
 use llp_geom::Point;

@@ -47,6 +47,13 @@ impl CoordMeter {
     pub fn per_round_bits(&self) -> &[u64] {
         &self.per_round_bits
     }
+
+    /// The heaviest single round, in bits — the round-granular congestion
+    /// figure skewed-partition experiments read out (total bits hide a
+    /// single overloaded exchange).
+    pub fn max_round_bits(&self) -> u64 {
+        self.per_round_bits.iter().copied().max().unwrap_or(0)
+    }
 }
 
 /// The coordinator-model simulator.
@@ -101,6 +108,11 @@ impl<C> CoordSim<C> {
         self.sites.iter().map(Vec::len).sum()
     }
 
+    /// Per-site partition sizes (read-out for skew experiments).
+    pub fn site_sizes(&self) -> Vec<usize> {
+        self.sites.iter().map(Vec::len).collect()
+    }
+
     /// Starts a new round.
     pub fn begin_round(&mut self) {
         self.meter.rounds += 1;
@@ -144,6 +156,7 @@ mod tests {
         assert_eq!(sim.site(0), &[0, 3, 6, 9]);
         assert_eq!(sim.site(1), &[1, 4, 7]);
         assert_eq!(sim.total_len(), 10);
+        assert_eq!(sim.site_sizes(), vec![4, 3, 3]);
     }
 
     #[test]

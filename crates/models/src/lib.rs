@@ -14,7 +14,7 @@
 //!   and per-direction byte metering (the model of Section 3.3).
 //! * [`mpc::MpcSim`] — `k` machines with per-machine per-round load
 //!   metering (the model of Section 3.4), plus the `O(1/δ)`-round
-//!   broadcast and converge-cast trees of [23].
+//!   broadcast and converge-cast trees of \[23\].
 
 pub mod coordinator;
 pub mod cost;

@@ -4,7 +4,7 @@
 //! figure of merit is the *load* — the maximum bits any machine sends or
 //! receives in a round. [`MpcSim`] meters exactly that, and provides the
 //! `n^δ`-ary broadcast / converge-cast trees of Goodrich–Sitchinava–Zhang
-//! [23] used by Theorem 3 to move data between the designated coordinator
+//! \[23\] used by Theorem 3 to move data between the designated coordinator
 //! machine and everyone else in `O(1/δ)` rounds without exceeding the
 //! `O(n^δ)` load budget.
 
@@ -39,6 +39,15 @@ impl MpcMeter {
     /// Per-round maximum loads (completed rounds).
     pub fn per_round_max_load(&self) -> &[u64] {
         &self.per_round_max_load
+    }
+
+    /// Sum over rounds of the per-round maximum load: the aggregate
+    /// critical-path traffic of the run, surfaced as
+    /// `MpcStats::total_load_bits` next to
+    /// [`max_load_bits`](Self::max_load_bits).
+    pub fn total_load_bits(&self) -> u64 {
+        self.per_round_max_load.iter().sum::<u64>()
+            + self.current.iter().copied().max().unwrap_or(0)
     }
 }
 
@@ -84,6 +93,24 @@ impl<C> MpcSim<C> {
     /// Total elements across machines.
     pub fn total_len(&self) -> usize {
         self.machines.iter().map(Vec::len).sum()
+    }
+
+    /// Per-machine partition sizes (read-out for skew experiments).
+    pub fn machine_sizes(&self) -> Vec<usize> {
+        self.machines.iter().map(Vec::len).collect()
+    }
+
+    /// Uses an explicit partition (the model allows arbitrary ones; skewed
+    /// layouts come through here).
+    ///
+    /// # Panics
+    /// Panics if `machines` is empty.
+    pub fn from_partitions(machines: Vec<Vec<C>>) -> Self {
+        assert!(!machines.is_empty(), "need at least one machine");
+        MpcSim {
+            machines,
+            meter: MpcMeter::default(),
+        }
     }
 
     /// Starts a BSP round.
@@ -200,6 +227,21 @@ mod tests {
         assert_eq!(sim.k(), 4);
         assert_eq!(sim.total_len(), 10);
         assert_eq!(sim.machine(0).len(), 3);
+        assert_eq!(sim.machine_sizes(), vec![3, 3, 3, 1]);
+    }
+
+    #[test]
+    fn explicit_partition_and_load_totals() {
+        let mut sim = MpcSim::from_partitions(vec![vec![0u32; 5], vec![0u32; 1]]);
+        assert_eq!(sim.machine_sizes(), vec![5, 1]);
+        sim.begin_round();
+        sim.charge(0, 1, &1u64); // 64 bits on both
+        sim.end_round();
+        sim.begin_round();
+        sim.charge(1, 0, &1u32); // 32 bits
+        sim.end_round();
+        assert_eq!(sim.meter.max_load_bits(), 64);
+        assert_eq!(sim.meter.total_load_bits(), 96);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! `m_{ε,λ,δ} = max( (8λ/ε)·log(8λ/ε), (4/ε)·log(2/δ) )`
 //! elements drawn with probability proportional to weight is an ε-net of a
 //! set system with VC dimension λ with probability ≥ 1 − δ
-//! (Haussler–Welzl [25]).
+//! (Haussler–Welzl \[25\]).
 //!
 //! The constants in the classical bound are loose: for small inputs the
 //! formula exceeds `n` itself, in which case any implementation should

@@ -1,7 +1,7 @@
 //! One-pass weighted reservoir sampling (A-ExpJ / exponential keys).
 //!
 //! The paper's streaming implementation (Section 3.2) cites Chao's
-//! unequal-probability reservoir plan [14]: sample proportionally to
+//! unequal-probability reservoir plan \[14\]: sample proportionally to
 //! weight in a single pass without knowing the total weight up front. We
 //! implement the Efraimidis–Spirakis scheme: each element receives the key
 //! `log(u) / w` (`u` uniform), and the `m` *largest* keys win. This yields

@@ -1,214 +1,40 @@
-//! Synthetic workload generators.
+//! Synthetic workload generators and the scenario registry.
 //!
-//! Each generator produces inputs with known structure so experiments can
-//! check correctness, not just run: random LPs are feasible and bounded
-//! by construction, regression instances embed a known ground-truth
-//! model, SVM clouds have a guaranteed margin, and MEB shells have a
-//! known radius.
+//! Every generator produces inputs with known structure so experiments can
+//! check correctness, not just run: random LPs are feasible and bounded by
+//! construction, regression instances embed a known ground-truth model,
+//! SVM clouds have a guaranteed margin, and MEB instances have a known
+//! radius. Beyond the benign families the crate carries *adversarial*
+//! ones — degenerate duplicate packs, near-ties at the optimum,
+//! weight-explosion needles, heavy-tailed and clustered clouds,
+//! permutation-adversarial orders, and skewed partitions — each designed
+//! to stress one specific mechanism of the reproduction (see the module
+//! docs and DESIGN.md §6).
+//!
+//! Reproducibility contract: **every generator takes an explicit `seed`**
+//! and builds its own deterministic RNG from it. No generator draws from a
+//! caller-threaded RNG, so the bytes of an instance depend only on the
+//! generator arguments — the same scenario regenerates identically in any
+//! test, bench, CI leg, or example, regardless of what the caller sampled
+//! before.
+//!
+//! The [`scenario`] module ties the families into a first-class registry:
+//! named, seeded [`Scenario`]s that the experiment harness enumerates and
+//! runs against all four models (RAM / streaming / coordinator / MPC),
+//! emitting one machine-readable report cell per (scenario × model) pair.
 
-use llp_core::instances::lp::LpProblem;
-use llp_core::instances::svm::SvmPoint;
-use llp_geom::Halfspace;
-use llp_num::linalg::norm;
-use rand::Rng;
+pub mod lp;
+pub mod meb;
+pub mod order;
+pub mod partition;
+pub mod scenario;
+pub mod svm;
 
-/// A random bounded-feasible LP: `n` unit-normal halfspaces tangent to
-/// the unit sphere (`a·x ≤ 1`, `‖a‖ = 1`), so the origin is feasible and
-/// — once directions cover the sphere — the region is bounded; plus a
-/// random unit objective.
-pub fn random_lp<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> (LpProblem, Vec<Halfspace>) {
-    assert!(d >= 1 && n >= 1);
-    let mut cs = Vec::with_capacity(n);
-    while cs.len() < n {
-        let mut a: Vec<f64> = (0..d).map(|_| rng.random_range(-1.0..1.0)).collect();
-        let nn = norm(&a);
-        if nn < 1e-6 {
-            continue;
-        }
-        a.iter_mut().for_each(|v| *v /= nn);
-        cs.push(Halfspace::new(a, 1.0));
-    }
-    let mut c: Vec<f64> = (0..d).map(|_| rng.random_range(-1.0..1.0)).collect();
-    let cn = norm(&c);
-    if cn > 1e-6 {
-        c.iter_mut().for_each(|v| *v /= cn);
-    } else {
-        c[0] = 1.0;
-    }
-    (LpProblem::new(c), cs)
-}
-
-/// Chebyshev (L∞) regression as a `(d+1)`-dimensional LP — the
-/// over-constrained regression workload the paper's introduction
-/// motivates. Data `y_i = w*·z_i + noise`; variables `(w, t)`; constraints
-/// `|w·z_i − y_i| ≤ t`; objective `min t`. Returns the problem, the `2n`
-/// constraints, and the ground-truth `w*`.
-pub fn chebyshev_regression<R: Rng + ?Sized>(
-    n_points: usize,
-    d: usize,
-    noise: f64,
-    rng: &mut R,
-) -> (LpProblem, Vec<Halfspace>, Vec<f64>) {
-    assert!(d >= 1 && n_points >= 1 && noise >= 0.0);
-    let w_star: Vec<f64> = (0..d).map(|_| rng.random_range(-2.0..2.0)).collect();
-    let mut cs = Vec::with_capacity(2 * n_points);
-    for _ in 0..n_points {
-        let z: Vec<f64> = (0..d).map(|_| rng.random_range(-1.0..1.0)).collect();
-        let y = llp_num::linalg::dot(&w_star, &z) + rng.random_range(-noise..=noise);
-        // w·z − t ≤ y   and   −w·z − t ≤ −y.
-        let mut pos = z.clone();
-        pos.push(-1.0);
-        cs.push(Halfspace::new(pos, y));
-        let mut neg: Vec<f64> = z.iter().map(|v| -v).collect();
-        neg.push(-1.0);
-        cs.push(Halfspace::new(neg, -y));
-    }
-    let mut obj = vec![0.0; d + 1];
-    obj[d] = 1.0;
-    (LpProblem::new(obj), cs, w_star)
-}
-
-/// A linearly separable labeled cloud with hard margin ≥ `margin` around
-/// the hyperplane through the origin with a random unit normal: the
-/// hard-margin SVM workload of Theorem 5. Returns points and the true
-/// normal direction.
-pub fn separable_clouds<R: Rng + ?Sized>(
-    n: usize,
-    d: usize,
-    margin: f64,
-    rng: &mut R,
-) -> (Vec<SvmPoint>, Vec<f64>) {
-    assert!(d >= 1 && n >= 1 && margin > 0.0);
-    let mut u: Vec<f64> = (0..d).map(|_| rng.random_range(-1.0..1.0)).collect();
-    let un = norm(&u);
-    if un < 1e-6 {
-        u[0] = 1.0;
-    } else {
-        u.iter_mut().for_each(|v| *v /= un);
-    }
-    let mut pts = Vec::with_capacity(n);
-    for _ in 0..n {
-        let y: i8 = if rng.random_bool(0.5) { 1 } else { -1 };
-        let mut x: Vec<f64> = (0..d).map(|_| rng.random_range(-3.0..3.0)).collect();
-        // Push the point to the correct side with at least the margin.
-        let proj = llp_num::linalg::dot(&u, &x);
-        let want = f64::from(y) * (margin + rng.random_range(0.0..2.0));
-        let shift = want - proj;
-        for i in 0..d {
-            x[i] += shift * u[i];
-        }
-        pts.push(SvmPoint { x, y });
-    }
-    (pts, u)
-}
-
-/// Points uniform in a ball of the given radius (MEB workload with
-/// radius ≤ `radius`).
-pub fn ball_cloud<R: Rng + ?Sized>(n: usize, d: usize, radius: f64, rng: &mut R) -> Vec<Vec<f64>> {
-    assert!(d >= 1 && n >= 1 && radius > 0.0);
-    let mut pts = Vec::with_capacity(n);
-    while pts.len() < n {
-        let x: Vec<f64> = (0..d).map(|_| rng.random_range(-radius..radius)).collect();
-        if norm(&x) <= radius {
-            pts.push(x);
-        }
-    }
-    pts
-}
-
-/// Points on the sphere of the given radius: the MEB is (essentially) the
-/// sphere itself, so the output radius is checkable.
-pub fn sphere_shell<R: Rng + ?Sized>(
-    n: usize,
-    d: usize,
-    radius: f64,
-    rng: &mut R,
-) -> Vec<Vec<f64>> {
-    assert!(d >= 1 && n >= 1 && radius > 0.0);
-    let mut pts = Vec::with_capacity(n);
-    while pts.len() < n {
-        let mut x: Vec<f64> = (0..d).map(|_| rng.random_range(-1.0..1.0)).collect();
-        let nn = norm(&x);
-        if nn < 1e-6 {
-            continue;
-        }
-        x.iter_mut().for_each(|v| *v = *v / nn * radius);
-        pts.push(x);
-    }
-    pts
-}
-
-/// Random lines for the Chan–Chen envelope baseline.
-pub fn random_lines<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<llp_baselines::chan_chen::Line> {
-    (0..n)
-        .map(|_| llp_baselines::chan_chen::Line {
-            slope: rng.random_range(-5.0..5.0),
-            intercept: rng.random_range(-5.0..5.0),
-        })
-        .collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use llp_core::lptype::LpTypeProblem;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(10)
-    }
-
-    #[test]
-    fn random_lp_origin_feasible() {
-        let (_, cs) = random_lp(500, 3, &mut rng());
-        let origin = vec![0.0; 3];
-        assert!(cs.iter().all(|h| h.contains(&origin)));
-        assert_eq!(cs.len(), 500);
-    }
-
-    #[test]
-    fn chebyshev_truth_is_nearly_feasible() {
-        let (p, cs, w_star) = chebyshev_regression(200, 3, 0.1, &mut rng());
-        // (w*, t = noise) satisfies all constraints.
-        let mut x = w_star.clone();
-        x.push(0.1 + 1e-9);
-        assert!(cs.iter().all(|h| h.contains_eps(&x, 1e-6)));
-        assert_eq!(p.dim(), 4);
-    }
-
-    #[test]
-    fn chebyshev_optimum_at_most_noise() {
-        let (p, cs, _) = chebyshev_regression(300, 2, 0.05, &mut rng());
-        let mut r = rng();
-        let sol = p.solve_subset(&cs, &mut r).unwrap();
-        let t = sol[2];
-        assert!(t <= 0.05 + 1e-6, "optimal residual {t} exceeds noise");
-        assert!(t >= 0.0);
-    }
-
-    #[test]
-    fn separable_cloud_respects_margin() {
-        let (pts, u) = separable_clouds(400, 3, 0.5, &mut rng());
-        for p in &pts {
-            let m = f64::from(p.y) * llp_num::linalg::dot(&u, &p.x);
-            assert!(m >= 0.5 - 1e-9, "margin {m}");
-        }
-    }
-
-    #[test]
-    fn sphere_shell_radius() {
-        let pts = sphere_shell(100, 4, 2.5, &mut rng());
-        for p in &pts {
-            assert!((norm(p) - 2.5).abs() < 1e-9);
-        }
-    }
-
-    #[test]
-    fn ball_cloud_inside() {
-        let pts = ball_cloud(100, 3, 1.5, &mut rng());
-        for p in &pts {
-            assert!(norm(p) <= 1.5 + 1e-12);
-        }
-    }
-}
+pub use lp::{
+    chebyshev_regression, degenerate_box_lp, near_tie_lp, needle_lp, random_lines, random_lp,
+};
+pub use meb::{ball_cloud, clustered_cloud, sphere_shell};
+pub use order::{binding_last_lp, extremes_last_points, shuffled};
+pub use partition::{partition_by_sizes, skewed_sizes};
+pub use scenario::{registry, Family, RunBudget, Scenario, ScenarioData};
+pub use svm::{heavy_tailed_clouds, separable_clouds};

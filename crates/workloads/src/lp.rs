@@ -1,0 +1,248 @@
+//! Linear-programming workloads: benign families plus the degenerate,
+//! near-tie, and weight-explosion adversaries.
+
+use llp_core::instances::lp::LpProblem;
+use llp_geom::Halfspace;
+use llp_num::linalg::{dot, norm};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random unit vector (rejection-sampled away from the origin).
+pub(crate) fn random_unit<R: Rng + ?Sized>(d: usize, rng: &mut R) -> Vec<f64> {
+    loop {
+        let v: Vec<f64> = (0..d).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let nn = norm(&v);
+        if nn >= 1e-6 {
+            return v.into_iter().map(|x| x / nn).collect();
+        }
+    }
+}
+
+/// A random bounded-feasible LP: `n` unit-normal halfspaces tangent to
+/// the unit sphere (`a·x ≤ 1`, `‖a‖ = 1`), so the origin is feasible and
+/// — once directions cover the sphere — the region is bounded; plus a
+/// random unit objective.
+pub fn random_lp(n: usize, d: usize, seed: u64) -> (LpProblem, Vec<Halfspace>) {
+    assert!(d >= 1 && n >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cs = (0..n)
+        .map(|_| Halfspace::new(random_unit(d, &mut rng), 1.0))
+        .collect();
+    let c = random_unit(d, &mut rng);
+    (LpProblem::new(c), cs)
+}
+
+/// Chebyshev (L∞) regression as a `(d+1)`-dimensional LP — the
+/// over-constrained regression workload the paper's introduction
+/// motivates. Data `y_i = w*·z_i + noise`; variables `(w, t)`; constraints
+/// `|w·z_i − y_i| ≤ t`; objective `min t`. Returns the problem, the `2n`
+/// constraints, and the ground-truth `w*`.
+pub fn chebyshev_regression(
+    n_points: usize,
+    d: usize,
+    noise: f64,
+    seed: u64,
+) -> (LpProblem, Vec<Halfspace>, Vec<f64>) {
+    assert!(d >= 1 && n_points >= 1 && noise >= 0.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let w_star: Vec<f64> = (0..d).map(|_| rng.random_range(-2.0..2.0)).collect();
+    let mut cs = Vec::with_capacity(2 * n_points);
+    for _ in 0..n_points {
+        let z: Vec<f64> = (0..d).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let y = dot(&w_star, &z) + rng.random_range(-noise..=noise);
+        // w·z − t ≤ y   and   −w·z − t ≤ −y.
+        let mut pos = z.clone();
+        pos.push(-1.0);
+        cs.push(Halfspace::new(pos, y));
+        let mut neg: Vec<f64> = z.iter().map(|v| -v).collect();
+        neg.push(-1.0);
+        cs.push(Halfspace::new(neg, -y));
+    }
+    let mut obj = vec![0.0; d + 1];
+    obj[d] = 1.0;
+    (LpProblem::new(obj), cs, w_star)
+}
+
+/// A maximally degenerate duplicate pack: the `2d` faces of the unit box
+/// `|x_j| ≤ 1`, cycled (with a seeded shuffle) until there are `n`
+/// constraints, under the objective `min x_0`. The optimal *face* is
+/// `(d−1)`-dimensional — every point on it ties — so the lexicographic
+/// rule must pick the canonical vertex `(-1, …, -1)` and the objective
+/// value is exactly `-1`. Samplers constantly draw repeated elements and
+/// the basis solvers see maximally degenerate subsets.
+pub fn degenerate_box_lp(n: usize, d: usize, seed: u64) -> (LpProblem, Vec<Halfspace>) {
+    assert!(d >= 1 && n >= 2 * d, "need at least the 2d box faces");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut faces = Vec::with_capacity(2 * d);
+    for j in 0..d {
+        let mut a = vec![0.0; d];
+        a[j] = 1.0;
+        faces.push(Halfspace::new(a.clone(), 1.0));
+        a[j] = -1.0;
+        faces.push(Halfspace::new(a, 1.0));
+    }
+    let mut cs: Vec<Halfspace> = (0..n).map(|i| faces[i % faces.len()].clone()).collect();
+    use rand::seq::SliceRandom;
+    cs.shuffle(&mut rng);
+    let mut obj = vec![0.0; d];
+    obj[0] = 1.0;
+    (LpProblem::new(obj), cs)
+}
+
+/// Near-ties at the optimum: all `n` constraints pass within `jitter`
+/// (1e-7 — right at the violation tolerance) of the planted optimum
+/// `x* = −c`, with normals spread only `spread` (1e-3) around `−c`. Every
+/// constraint is *almost* binding at the optimum, so tie-breaking and the
+/// violation tolerance are stressed maximally; the optimal objective is
+/// `c·x* = −1` up to `O(spread²)`. A box `|x_j| ≤ 2` keeps the region
+/// bounded in the directions the cluster leaves open. (Jitter far below
+/// the solver tolerance makes the basis solver's feasibility test
+/// unreliable on sampled subsets — this family sits at the edge it can
+/// still certify.)
+pub fn near_tie_lp(n: usize, d: usize, seed: u64) -> (LpProblem, Vec<Halfspace>) {
+    assert!(d >= 1 && n >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let c = random_unit(d, &mut rng);
+    let x_star: Vec<f64> = c.iter().map(|v| -v).collect();
+    let spread = 1e-3;
+    let jitter = 1e-7;
+    let mut cs = Vec::with_capacity(n + 2 * d);
+    for _ in 0..n {
+        let g = random_unit(d, &mut rng);
+        let raw: Vec<f64> = (0..d).map(|j| -c[j] + spread * g[j]).collect();
+        let nn = norm(&raw);
+        let a: Vec<f64> = raw.into_iter().map(|v| v / nn).collect();
+        let b = dot(&a, &x_star) + rng.random_range(0.0..jitter);
+        cs.push(Halfspace::new(a, b));
+    }
+    for j in 0..d {
+        let mut a = vec![0.0; d];
+        a[j] = 1.0;
+        cs.push(Halfspace::new(a.clone(), 2.0));
+        a[j] = -1.0;
+        cs.push(Halfspace::new(a, 2.0));
+    }
+    (LpProblem::new(c), cs)
+}
+
+/// The weight-explosion needle: `n − needles` sphere-tangent constraints
+/// (`a·x ≤ 1`) plus a tiny cluster of `needles` constraints with normals
+/// near `−c` and right-hand side `depth ≪ 1`. The optimum is determined
+/// entirely by the needles, but a uniform ε-net almost never sees them, so
+/// Algorithm 1 must multiply their weight iteration after iteration until
+/// they dominate — exactly the regime that drives `ScaledF64` /
+/// `WeightIndex` exponents up (run it with a large factor, e.g. `r = 3`).
+pub fn needle_lp(n: usize, d: usize, needles: usize, seed: u64) -> (LpProblem, Vec<Halfspace>) {
+    assert!(d >= 1 && needles >= 1 && n > needles);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let c = random_unit(d, &mut rng);
+    let depth = 0.05;
+    let mut cs = Vec::with_capacity(n);
+    for _ in 0..n - needles {
+        cs.push(Halfspace::new(random_unit(d, &mut rng), 1.0));
+    }
+    for _ in 0..needles {
+        let g = random_unit(d, &mut rng);
+        let raw: Vec<f64> = (0..d).map(|j| -c[j] + 0.05 * g[j]).collect();
+        let nn = norm(&raw);
+        let a: Vec<f64> = raw.into_iter().map(|v| v / nn).collect();
+        cs.push(Halfspace::new(a, depth));
+    }
+    // Bury the needles at seeded positions so no prefix heuristic finds
+    // them early.
+    use rand::seq::SliceRandom;
+    cs.shuffle(&mut rng);
+    (LpProblem::new(c), cs)
+}
+
+/// Random lines for the Chan–Chen envelope baseline.
+pub fn random_lines(n: usize, seed: u64) -> Vec<llp_baselines::chan_chen::Line> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| llp_baselines::chan_chen::Line {
+            slope: rng.random_range(-5.0..5.0),
+            intercept: rng.random_range(-5.0..5.0),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llp_core::lptype::LpTypeProblem;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_lp_origin_feasible() {
+        let (_, cs) = random_lp(500, 3, 10);
+        let origin = vec![0.0; 3];
+        assert!(cs.iter().all(|h| h.contains(&origin)));
+        assert_eq!(cs.len(), 500);
+    }
+
+    #[test]
+    fn generators_are_reproducible_byte_for_byte() {
+        let (_, a) = random_lp(200, 3, 77);
+        let (_, b) = random_lp(200, 3, 77);
+        assert_eq!(a, b);
+        let (_, c) = random_lp(200, 3, 78);
+        assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn chebyshev_truth_is_nearly_feasible() {
+        let (p, cs, w_star) = chebyshev_regression(200, 3, 0.1, 10);
+        // (w*, t = noise) satisfies all constraints.
+        let mut x = w_star.clone();
+        x.push(0.1 + 1e-9);
+        assert!(cs.iter().all(|h| h.contains_eps(&x, 1e-6)));
+        assert_eq!(p.dim(), 4);
+    }
+
+    #[test]
+    fn chebyshev_optimum_at_most_noise() {
+        let (p, cs, _) = chebyshev_regression(300, 2, 0.05, 10);
+        let mut r = StdRng::seed_from_u64(10);
+        let sol = p.solve_subset(&cs, &mut r).unwrap();
+        let t = sol[2];
+        assert!(t <= 0.05 + 1e-6, "optimal residual {t} exceeds noise");
+        assert!(t >= 0.0);
+    }
+
+    #[test]
+    fn degenerate_box_has_canonical_vertex_optimum() {
+        let (p, cs) = degenerate_box_lp(100, 3, 4);
+        assert_eq!(cs.len(), 100);
+        let mut r = StdRng::seed_from_u64(1);
+        let sol = p.solve_subset(&cs, &mut r).unwrap();
+        for (i, &v) in sol.iter().enumerate() {
+            assert!((v + 1.0).abs() < 1e-7, "coordinate {i} = {v}");
+        }
+        assert!((p.objective_value(&sol) + 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn near_tie_optimum_close_to_planted() {
+        let (p, cs) = near_tie_lp(2000, 3, 9);
+        let mut r = StdRng::seed_from_u64(2);
+        let sol = p.solve_subset(&cs, &mut r).unwrap();
+        // Optimal value is c·x* = −1 up to O(spread).
+        assert!((p.objective_value(&sol) + 1.0).abs() < 1e-2);
+        // The planted optimum x* = −c is feasible.
+        let x_star: Vec<f64> = p.objective.iter().map(|v| -v).collect();
+        assert!(cs.iter().all(|h| h.contains_eps(&x_star, 1e-6)));
+    }
+
+    #[test]
+    fn needle_lp_needles_bind() {
+        let (p, cs) = needle_lp(3000, 2, 4, 11);
+        assert_eq!(cs.len(), 3000);
+        let mut r = StdRng::seed_from_u64(3);
+        let sol = p.solve_subset(&cs, &mut r).unwrap();
+        // Without the needles the optimum would reach c·x = −1 (tangent
+        // sphere); the needles cut it back to about −depth.
+        assert!(p.objective_value(&sol) > -0.2, "needles did not bind");
+        assert!(cs.iter().all(|h| h.contains(&[0.0; 2])));
+    }
+}

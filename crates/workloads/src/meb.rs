@@ -1,0 +1,121 @@
+//! Minimum-enclosing-ball workloads: benign clouds/shells plus the
+//! clustered adversary with a planted exact radius.
+
+use crate::lp::random_unit;
+use llp_num::linalg::norm;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Points uniform in a ball of the given radius (MEB workload with
+/// radius ≤ `radius`).
+pub fn ball_cloud(n: usize, d: usize, radius: f64, seed: u64) -> Vec<Vec<f64>> {
+    assert!(d >= 1 && n >= 1 && radius > 0.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pts = Vec::with_capacity(n);
+    while pts.len() < n {
+        let x: Vec<f64> = (0..d).map(|_| rng.random_range(-radius..radius)).collect();
+        if norm(&x) <= radius {
+            pts.push(x);
+        }
+    }
+    pts
+}
+
+/// Points on the sphere of the given radius: the MEB is (essentially) the
+/// sphere itself, so the output radius is checkable.
+pub fn sphere_shell(n: usize, d: usize, radius: f64, seed: u64) -> Vec<Vec<f64>> {
+    assert!(d >= 1 && n >= 1 && radius > 0.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            random_unit(d, &mut rng)
+                .into_iter()
+                .map(|v| v * radius)
+                .collect()
+        })
+        .collect()
+}
+
+/// A clustered cloud with a planted *exact* MEB: a few tight clusters
+/// inside the ball `B(0, radius)` plus the antipodal anchor pair
+/// `±radius·e_1`. Every point lies in `B(0, radius)` and any enclosing
+/// ball must cover two points at distance `2·radius`, so the MEB is
+/// exactly `B(0, radius)` (center 0, unique). Clusters make uniform
+/// sampling highly redundant — most draws land in the same tiny blobs —
+/// while the two anchors are the only support points, a needle-like
+/// regime for the ε-net.
+pub fn clustered_cloud(
+    n: usize,
+    d: usize,
+    radius: f64,
+    clusters: usize,
+    seed: u64,
+) -> Vec<Vec<f64>> {
+    assert!(d >= 1 && n >= 3 && radius > 0.0 && clusters >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<Vec<f64>> = (0..clusters)
+        .map(|_| {
+            let dir = random_unit(d, &mut rng);
+            let r = rng.random_range(0.0..0.5 * radius);
+            dir.into_iter().map(|v| v * r).collect()
+        })
+        .collect();
+    let spread = 0.01 * radius;
+    let mut pts = Vec::with_capacity(n);
+    let mut anchor = vec![0.0; d];
+    anchor[0] = radius;
+    pts.push(anchor.clone());
+    anchor[0] = -radius;
+    pts.push(anchor);
+    while pts.len() < n {
+        let c = &centers[rng.random_range(0..clusters)];
+        let mut x: Vec<f64> = (0..d)
+            .map(|j| c[j] + rng.random_range(-spread..spread))
+            .collect();
+        // Clip into the planted ball so the anchors stay the support.
+        let nn = norm(&x);
+        if nn > radius {
+            x.iter_mut().for_each(|v| *v *= radius / nn);
+        }
+        pts.push(x);
+    }
+    pts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sphere_shell_radius() {
+        let pts = sphere_shell(100, 4, 2.5, 10);
+        for p in &pts {
+            assert!((norm(p) - 2.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ball_cloud_inside() {
+        let pts = ball_cloud(100, 3, 1.5, 10);
+        for p in &pts {
+            assert!(norm(p) <= 1.5 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn clustered_cloud_has_exact_planted_meb() {
+        use llp_core::instances::meb::MebProblem;
+        use llp_core::lptype::LpTypeProblem;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let pts = clustered_cloud(2000, 3, 2.0, 5, 10);
+        assert!(pts.iter().all(|p| norm(p) <= 2.0 + 1e-12));
+        let p = MebProblem::new(3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let ball = p.solve_subset(&pts, &mut rng).unwrap();
+        assert!((ball.radius - 2.0).abs() < 1e-9, "radius {}", ball.radius);
+        for c in &ball.center {
+            assert!(c.abs() < 1e-9);
+        }
+    }
+}

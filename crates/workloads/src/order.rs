@@ -1,0 +1,92 @@
+//! Permutation adversaries for the streaming model.
+//!
+//! Algorithm 1 is order-oblivious in distribution, but specific orders are
+//! worst cases for anything that peeks at prefixes: putting the binding
+//! constraints *last* defeats prefix heuristics, maximizes the lifetime of
+//! wrong speculative bases in the one-pass sampler, and forces the
+//! two-pass sampler to keep re-learning weights at the end of the stream.
+
+use llp_core::instances::lp::LpProblem;
+use llp_core::lptype::LpTypeProblem;
+use llp_geom::Halfspace;
+use llp_num::linalg::norm;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A seeded Fisher–Yates shuffle (the baseline "random order" adversary).
+pub fn shuffled<C>(mut data: Vec<C>, seed: u64) -> Vec<C> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    data.shuffle(&mut rng);
+    data
+}
+
+/// Reorders LP constraints so the ones binding at the optimum stream
+/// *last*: solves the instance directly (with a seeded RNG) and sorts by
+/// slack at the optimum, descending. Ties (exact duplicates) keep a
+/// stable order.
+pub fn binding_last_lp(problem: &LpProblem, mut cs: Vec<Halfspace>, seed: u64) -> Vec<Halfspace> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sol = problem
+        .solve_subset(&cs, &mut rng)
+        .expect("ordering requires a solvable instance");
+    cs.sort_by(|a, b| {
+        let (sa, sb) = (a.slack(&sol), b.slack(&sol));
+        sb.partial_cmp(&sa).expect("finite slacks")
+    });
+    cs
+}
+
+/// Reorders points so the extremes (candidate MEB support points) come
+/// last: sorts by distance from the origin, ascending.
+pub fn extremes_last_points(mut pts: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
+    pts.sort_by(|a, b| norm(a).partial_cmp(&norm(b)).expect("finite norms"));
+    pts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lp::random_lp;
+
+    #[test]
+    fn binding_last_puts_tight_constraints_at_the_end() {
+        let (p, cs) = random_lp(2000, 2, 42);
+        let ordered = binding_last_lp(&p, cs, 43);
+        let mut rng = StdRng::seed_from_u64(44);
+        let sol = p.solve_subset(&ordered, &mut rng).unwrap();
+        // The last element's slack is (near) the minimum over the input.
+        let last = ordered.last().unwrap().slack(&sol);
+        let min = ordered
+            .iter()
+            .map(|h| h.slack(&sol))
+            .fold(f64::INFINITY, f64::min);
+        assert!(last <= min + 1e-9, "last {last} vs min {min}");
+        // And slacks are non-increasing along the stream.
+        for w in ordered.windows(2) {
+            assert!(w[0].slack(&sol) >= w[1].slack(&sol) - 1e-12);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_seeded_and_permutes() {
+        let data: Vec<u32> = (0..100).collect();
+        let a = shuffled(data.clone(), 7);
+        let b = shuffled(data.clone(), 7);
+        assert_eq!(a, b);
+        assert_ne!(a, data);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, data);
+    }
+
+    #[test]
+    fn extremes_last_sorts_by_norm() {
+        let pts = vec![vec![3.0, 0.0], vec![1.0, 0.0], vec![2.0, 0.0]];
+        let ordered = extremes_last_points(pts);
+        assert_eq!(
+            ordered,
+            vec![vec![1.0, 0.0], vec![2.0, 0.0], vec![3.0, 0.0]]
+        );
+    }
+}

@@ -16,11 +16,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(7);
     let (n_points, d, noise) = (200_000, 3, 0.05);
 
     let (problem, constraints, w_star) =
-        lodim_lp::workloads::chebyshev_regression(n_points, d, noise, &mut rng);
+        lodim_lp::workloads::chebyshev_regression(n_points, d, noise, 42);
     println!(
         "L-infinity regression: {} observations, {} constraints, model dim {}",
         n_points,

@@ -12,11 +12,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(23);
     let (n, d, radius) = (200_000, 3, 4.0);
 
     // Points on a sphere of known radius: the MEB radius is checkable.
-    let points = lodim_lp::workloads::sphere_shell(n, d, radius, &mut rng);
+    let points = lodim_lp::workloads::sphere_shell(n, d, radius, 42);
     println!("MEB: {n} points on the {d}-sphere of radius {radius}");
 
     let problem = MebProblem::new(d);

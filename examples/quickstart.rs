@@ -18,7 +18,7 @@ fn main() {
 
     // A 3-dimensional LP: minimize -x0 - x1 - x2 over 100k random
     // halfspaces tangent to the unit sphere (feasible: the origin).
-    let (problem, constraints) = lodim_lp::workloads::random_lp(100_000, 3, &mut rng);
+    let (problem, constraints) = lodim_lp::workloads::random_lp(100_000, 3, 42);
     println!(
         "LP: {} constraints in d = {}",
         constraints.len(),

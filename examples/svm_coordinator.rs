@@ -19,7 +19,7 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(11);
     let (n, d, true_margin, k) = (150_000, 3, 0.75, 16);
 
-    let (points, normal) = lodim_lp::workloads::separable_clouds(n, d, true_margin, &mut rng);
+    let (points, normal) = lodim_lp::workloads::separable_clouds(n, d, true_margin, 42);
     println!(
         "SVM: {n} labeled points in d = {d}, separable with margin {true_margin} \
          around normal {normal:?}, partitioned over k = {k} sites"

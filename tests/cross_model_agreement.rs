@@ -22,7 +22,7 @@ fn close(a: f64, b: f64, tol: f64) -> bool {
 fn lp_all_models_agree_with_direct_solver() {
     for d in [2usize, 3, 4] {
         let mut rng = StdRng::seed_from_u64(100 + d as u64);
-        let (p, cs) = lodim_lp::workloads::random_lp(N, d, &mut rng);
+        let (p, cs) = lodim_lp::workloads::random_lp(N, d, 100 + d as u64);
         let direct = p.solve_subset(&cs, &mut rng).expect("feasible");
         let v_direct = p.objective_value(&direct);
 
@@ -60,7 +60,7 @@ fn svm_all_models_match_margin() {
     let d = 3;
     let margin = 0.6;
     let mut rng = StdRng::seed_from_u64(200);
-    let (pts, _) = lodim_lp::workloads::separable_clouds(N, d, margin, &mut rng);
+    let (pts, _) = lodim_lp::workloads::separable_clouds(N, d, margin, 200);
     let p = SvmProblem::new(d);
     let direct = p.solve_subset(&pts, &mut rng).expect("separable");
     let v_direct = p.objective_value(&direct);
@@ -87,7 +87,7 @@ fn svm_all_models_match_margin() {
 fn meb_all_models_match_radius() {
     let d = 3;
     let mut rng = StdRng::seed_from_u64(300);
-    let pts = lodim_lp::workloads::sphere_shell(N, d, 2.0, &mut rng);
+    let pts = lodim_lp::workloads::sphere_shell(N, d, 2.0, 300);
     let p = MebProblem::new(d);
     let direct = p.solve_subset(&pts, &mut rng).expect("solvable");
 
@@ -189,7 +189,7 @@ fn degenerate_meb_with_duplicated_support_agrees_across_models() {
         );
     }
     let mut rng = StdRng::seed_from_u64(700);
-    pts.extend(lodim_lp::workloads::ball_cloud(2000, d, 0.5, &mut rng));
+    pts.extend(lodim_lp::workloads::ball_cloud(2000, d, 0.5, 700));
 
     let expected = 3f64.sqrt();
     let cfg = ClarksonConfig::lean(2);
@@ -219,7 +219,7 @@ fn degenerate_meb_with_duplicated_support_agrees_across_models() {
 #[test]
 fn chebyshev_regression_streams_to_noise_level() {
     let mut rng = StdRng::seed_from_u64(400);
-    let (p, cs, w_star) = lodim_lp::workloads::chebyshev_regression(N, 2, 0.02, &mut rng);
+    let (p, cs, w_star) = lodim_lp::workloads::chebyshev_regression(N, 2, 0.02, 400);
     let (sol, stats) = streaming::solve(
         &p,
         &cs,

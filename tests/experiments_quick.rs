@@ -13,7 +13,7 @@ fn col(t: &bench::Table, name: &str) -> usize {
 #[test]
 fn all_experiments_produce_rows() {
     for id in bench::ALL {
-        let tables = bench::run(id, true);
+        let tables = bench::run(id, bench::RunBudget::Quick);
         for t in &tables {
             assert!(!t.rows.is_empty(), "{id} produced an empty table");
             assert!(!t.render().is_empty());
@@ -23,7 +23,7 @@ fn all_experiments_produce_rows() {
 
 #[test]
 fn t1_iterations_within_twice_bound() {
-    let t = bench::t1_meta_iterations(true);
+    let t = bench::t1_meta_iterations(bench::RunBudget::Quick);
     let (ci, cb) = (col(&t, "iters"), col(&t, "bound"));
     for row in &t.rows {
         let iters: f64 = row[ci].parse().unwrap();
@@ -37,7 +37,7 @@ fn t1_iterations_within_twice_bound() {
 
 #[test]
 fn t10_envelope_always_ok() {
-    let t = bench::t10_weight_envelope(true);
+    let t = bench::t10_weight_envelope(bench::RunBudget::Quick);
     let ok = col(&t, "ok");
     for row in &t.rows {
         // A sentinel row appears if every seed converged without weight
@@ -48,7 +48,7 @@ fn t10_envelope_always_ok() {
 
 #[test]
 fn t11_reduction_always_correct() {
-    let t = bench::t11_augindex(true);
+    let t = bench::t11_augindex(bench::RunBudget::Quick);
     let (cc, cr, cv) = (
         col(&t, "cases"),
         col(&t, "correct"),
@@ -62,7 +62,7 @@ fn t11_reduction_always_correct() {
 
 #[test]
 fn f1_lp_reduction_always_matches() {
-    let t = bench::f1_tci_lp(true);
+    let t = bench::f1_tci_lp(bench::RunBudget::Quick);
     let cm = col(&t, "match");
     for row in &t.rows {
         assert_eq!(row[cm], "true", "LP reduction mismatch: {row:?}");
@@ -71,7 +71,7 @@ fn f1_lp_reduction_always_matches() {
 
 #[test]
 fn f2_hard_instances_always_valid() {
-    let t = bench::f2_hard_distribution(true);
+    let t = bench::f2_hard_distribution(bench::RunBudget::Quick);
     let (cv, ca) = (col(&t, "valid"), col(&t, "ans_ok"));
     for row in &t.rows {
         let (num, den) = row[cv].split_once('/').unwrap();
@@ -83,7 +83,7 @@ fn f2_hard_instances_always_valid() {
 
 #[test]
 fn t14_weight_paths_agree_on_totals() {
-    let t = bench::t14_weight_index(true);
+    let t = bench::t14_weight_index(bench::RunBudget::Quick);
     let cm = col(&t, "log2_match");
     for row in &t.rows {
         assert_eq!(
@@ -95,7 +95,7 @@ fn t14_weight_paths_agree_on_totals() {
 
 #[test]
 fn t12_protocol_bits_decrease_with_r() {
-    let t = bench::t12_protocol_scaling(true);
+    let t = bench::t12_protocol_scaling(bench::RunBudget::Quick);
     let (cn, cr, cb) = (col(&t, "n"), col(&t, "r"), col(&t, "bits"));
     // Group rows by n; bits must be non-increasing in r.
     let mut last: Option<(String, u64)> = None;
@@ -114,7 +114,7 @@ fn t12_protocol_bits_decrease_with_r() {
 
 #[test]
 fn t2_streaming_space_shrinks_with_r() {
-    let t = bench::t2_streaming(true);
+    let t = bench::t2_streaming(bench::RunBudget::Quick);
     let (cd, cr, cm, ck) = (
         col(&t, "d"),
         col(&t, "r"),

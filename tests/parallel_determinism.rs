@@ -68,19 +68,16 @@ fn assert_thread_count_invariant<T: PartialEq + Debug>(label: &str, f: impl Fn()
 }
 
 fn lp_instance() -> (LpProblem, Vec<Halfspace>) {
-    let mut rng = StdRng::seed_from_u64(SEED);
-    lodim_lp::workloads::random_lp(N, 3, &mut rng)
+    lodim_lp::workloads::random_lp(N, 3, SEED)
 }
 
 fn svm_instance() -> (SvmProblem, Vec<SvmPoint>) {
-    let mut rng = StdRng::seed_from_u64(SEED + 1);
-    let (pts, _) = lodim_lp::workloads::separable_clouds(N, 3, 0.5, &mut rng);
+    let (pts, _) = lodim_lp::workloads::separable_clouds(N, 3, 0.5, SEED + 1);
     (SvmProblem::new(3), pts)
 }
 
 fn meb_instance() -> (MebProblem, Vec<Vec<f64>>) {
-    let mut rng = StdRng::seed_from_u64(SEED + 2);
-    let pts = lodim_lp::workloads::ball_cloud(N, 3, 4.0, &mut rng);
+    let pts = lodim_lp::workloads::ball_cloud(N, 3, 4.0, SEED + 2);
     (MebProblem::new(3), pts)
 }
 
@@ -145,8 +142,7 @@ fn streaming_is_thread_count_invariant_in_both_modes() {
 fn coordinator_is_thread_count_invariant() {
     // The LP leg is sized so every site's scan spans multiple chunks and
     // actually spawns workers at threads=4.
-    let mut rng = StdRng::seed_from_u64(SEED);
-    let (lp, cs) = lodim_lp::workloads::random_lp(N_BIG, 3, &mut rng);
+    let (lp, cs) = lodim_lp::workloads::random_lp(N_BIG, 3, SEED);
     assert_thread_count_invariant("coord/lp", || {
         let mut rng = StdRng::seed_from_u64(SEED + 30);
         coordinator::solve(&lp, cs.clone(), 4, &ClarksonConfig::lean(2), &mut rng).unwrap()
@@ -167,8 +163,7 @@ fn coordinator_is_thread_count_invariant() {
 fn mpc_is_thread_count_invariant() {
     // The LP leg is sized (and δ chosen) so every machine's scan spans
     // multiple chunks and actually spawns workers at threads=4.
-    let mut rng = StdRng::seed_from_u64(SEED);
-    let (lp, cs) = lodim_lp::workloads::random_lp(N_BIG, 3, &mut rng);
+    let (lp, cs) = lodim_lp::workloads::random_lp(N_BIG, 3, SEED);
     assert_thread_count_invariant("mpc/lp", || {
         let mut rng = StdRng::seed_from_u64(SEED + 40);
         mpc::solve(&lp, cs.clone(), &MpcConfig::lean(MPC_DELTA_BIG), &mut rng).unwrap()
@@ -216,7 +211,7 @@ fn weight_oracle_helpers_are_thread_count_invariant() {
     use lodim_lp::core::lptype::LpTypeProblem;
 
     let mut rng = StdRng::seed_from_u64(SEED + 70);
-    let (lp, cs) = lodim_lp::workloads::random_lp(N_BIG, 3, &mut rng);
+    let (lp, cs) = lodim_lp::workloads::random_lp(N_BIG, 3, SEED + 70);
     let mut oracle: WeightOracle<LpProblem> = WeightOracle::new(8.0);
     for i in 0..6 {
         // A spread of basis points so constraints get diverse exponents.
@@ -264,7 +259,7 @@ fn site_weights_scan_and_sampling_are_thread_count_invariant() {
     use lodim_lp::core::lptype::LpTypeProblem;
 
     let mut rng = StdRng::seed_from_u64(SEED + 80);
-    let (lp, cs) = lodim_lp::workloads::random_lp(N_BIG, 3, &mut rng);
+    let (lp, cs) = lodim_lp::workloads::random_lp(N_BIG, 3, SEED + 80);
     let probes: Vec<_> = (0..4)
         .map(|i| {
             lp.solve_subset(&cs[i * 64..i * 64 + 48], &mut rng)
@@ -302,8 +297,7 @@ fn meter_readings_match_sequential_reference_exactly() {
     // stats structs): communication and load charges may not depend on the
     // thread count in any field. Inputs are sized so the per-site and
     // per-machine scans really run multi-chunk parallel at threads=4.
-    let mut rng = StdRng::seed_from_u64(SEED);
-    let (lp, cs) = lodim_lp::workloads::random_lp(N_BIG, 3, &mut rng);
+    let (lp, cs) = lodim_lp::workloads::random_lp(N_BIG, 3, SEED);
     let run_coord = || {
         let mut rng = StdRng::seed_from_u64(SEED + 60);
         coordinator::solve(&lp, cs.clone(), 4, &ClarksonConfig::lean(2), &mut rng)

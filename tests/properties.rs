@@ -25,7 +25,7 @@ proptest! {
         r in 1u32..4,
     ) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let (p, cs) = lodim_lp::workloads::random_lp(n, d, &mut rng);
+        let (p, cs) = lodim_lp::workloads::random_lp(n, d, seed);
         let (sol, _) = streaming::solve(
             &p, &cs, &ClarksonConfig::lean(r), SamplingMode::TwoPassIid, &mut rng,
         ).expect("feasible");
@@ -40,7 +40,7 @@ proptest! {
     #[test]
     fn prop_lp_monotonicity(seed in 0u64..10_000, n in 50usize..400) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let (p, cs) = lodim_lp::workloads::random_lp(n, 3, &mut rng);
+        let (p, cs) = lodim_lp::workloads::random_lp(n, 3, seed);
         let half = p.solve_subset(&cs[..n / 2], &mut rng).expect("feasible");
         let full = p.solve_subset(&cs, &mut rng).expect("feasible");
         prop_assert!(
@@ -78,7 +78,7 @@ proptest! {
     #[test]
     fn prop_meb_streaming(seed in 0u64..10_000, n in 100usize..2000, d in 2usize..4) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let pts = lodim_lp::workloads::ball_cloud(n, d, 3.0, &mut rng);
+        let pts = lodim_lp::workloads::ball_cloud(n, d, 3.0, seed);
         let p = lodim_lp::core::instances::meb::MebProblem::new(d);
         let (ball, _) = streaming::solve(
             &p, &pts, &ClarksonConfig::lean(2), SamplingMode::OnePassSpeculative, &mut rng,

@@ -1,0 +1,130 @@
+//! Integration: the machine-readable report schema round-trips, the
+//! golden document stays parseable (schema stability), and the scenario
+//! registry yields cross-model objective agreement in quick mode.
+
+use llp_bench::report::{self, Cell, Report};
+use llp_bench::RunBudget;
+use llp_workloads::scenario::{registry, Family};
+
+/// A golden v1 document, written by hand. If a schema change breaks this
+/// parse, bump `report::SCHEMA_VERSION` and regenerate the golden —
+/// silently reinterpreting old trajectory files is the failure mode this
+/// test exists to catch.
+const GOLDEN_V1: &str = r#"{
+  "schema_version": 1,
+  "label": "golden",
+  "budget": "quick",
+  "cells": [
+    {
+      "scenario": "lp_uniform", "family": "random_lp", "model": "ram",
+      "n": 3750, "d": 3, "seed": 161,
+      "objective": -1.0000517, "violations": 0, "iterations": 11,
+      "passes": 0, "rounds": 0, "space_bits": 0, "comm_bits": 0,
+      "max_round_bits": 0, "load_bits": 0, "total_load_bits": 0, "wall_ms": 12.5
+    }
+  ]
+}"#;
+
+#[test]
+fn golden_v1_document_parses() {
+    let r = Report::from_json(GOLDEN_V1).expect("golden must parse");
+    assert_eq!(r.schema_version, report::SCHEMA_VERSION);
+    assert_eq!(r.label, "golden");
+    assert_eq!(r.budget, "quick");
+    assert_eq!(r.cells.len(), 1);
+    let c = &r.cells[0];
+    assert_eq!(c.scenario, "lp_uniform");
+    assert_eq!(c.model, "ram");
+    assert_eq!(c.n, 3750);
+    assert!((c.objective - -1.0000517).abs() < 1e-12);
+    assert_eq!(c.violations, 0);
+}
+
+#[test]
+fn report_serialize_parse_compare_is_lossless() {
+    // Exercise awkward floats: shortest-round-trip formatting must bring
+    // every one back bit-exactly.
+    let mut cells = Vec::new();
+    for (i, &obj) in [
+        -1.0,
+        0.1 + 0.2,
+        f64::MIN_POSITIVE,
+        1.0e308,
+        -2.2250738585072014e-308,
+        123_456_789.987_654_32,
+    ]
+    .iter()
+    .enumerate()
+    {
+        for model in report::MODELS {
+            cells.push(Cell {
+                scenario: format!("s{i}"),
+                family: "random_lp".to_string(),
+                model: model.to_string(),
+                n: u64::MAX >> 12, // large but f64-exact (the JSON model is f64)
+                d: 3,
+                seed: i as u64,
+                objective: obj,
+                violations: 0,
+                iterations: 7,
+                passes: 14,
+                rounds: 21,
+                space_bits: 1 << 40,
+                comm_bits: 12345,
+                max_round_bits: 333,
+                load_bits: 999,
+                total_load_bits: 2997,
+                wall_ms: 0.0625,
+            });
+        }
+    }
+    let report = Report {
+        schema_version: report::SCHEMA_VERSION,
+        label: "röund-trip \"quotes\" and\nnewlines".to_string(),
+        budget: "full".to_string(),
+        cells,
+    };
+    let json = report.to_json();
+    let parsed = Report::from_json(&json).expect("round-trip parse");
+    assert_eq!(parsed, report);
+    // And a second trip is a fixed point.
+    assert_eq!(parsed.to_json(), json);
+}
+
+#[test]
+fn truncated_and_mistyped_documents_are_rejected() {
+    let good = Report::from_json(GOLDEN_V1).unwrap().to_json();
+    assert!(Report::from_json(&good[..good.len() - 2]).is_err());
+    assert!(Report::from_json("{}").is_err(), "missing fields");
+    assert!(Report::from_json(&good.replace("\"cells\"", "\"cell\"")).is_err());
+}
+
+#[test]
+fn registry_is_stable_and_quick_is_a_subset_of_full() {
+    let quick = registry(RunBudget::Quick);
+    let full = registry(RunBudget::Full);
+    assert_eq!(quick.len(), full.len());
+    assert!(quick.len() >= Family::ALL.len());
+    for (q, f) in quick.iter().zip(&full) {
+        assert_eq!(q.name, f.name);
+        assert_eq!(q.family, f.family);
+        assert_eq!((q.d, q.seed, q.r), (f.d, f.seed, f.r));
+        assert!(q.n <= f.n, "{}: quick must not exceed full", q.name);
+    }
+}
+
+#[test]
+fn quick_scenario_grid_agrees_across_all_four_models() {
+    // The acceptance run: every registered scenario in all four models,
+    // objectives agreeing per scenario, zero violations — exactly what
+    // the CI bench-report job checks on the written file.
+    let report = report::run_scenarios(RunBudget::Quick, "test");
+    assert_eq!(
+        report.cells.len(),
+        registry(RunBudget::Quick).len() * report::MODELS.len()
+    );
+    report::validate(&report).expect("cross-model agreement");
+    // And the file that would be written round-trips.
+    let parsed = Report::from_json(&report.to_json()).expect("parse back");
+    assert_eq!(parsed, report);
+}

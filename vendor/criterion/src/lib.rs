@@ -1,4 +1,4 @@
-//! Offline vendored stand-in for [`criterion`].
+//! Offline vendored stand-in for the `criterion` crate.
 //!
 //! Implements the benchmarking surface the workspace's five bench targets
 //! use — [`Criterion::benchmark_group`], `sample_size`, `bench_function`,

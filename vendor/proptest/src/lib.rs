@@ -1,4 +1,4 @@
-//! Offline vendored stand-in for [`proptest`].
+//! Offline vendored stand-in for the `proptest` crate.
 //!
 //! The build environment has no registry access, so this crate implements
 //! the property-testing surface the workspace's tests use:

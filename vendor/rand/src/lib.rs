@@ -1,4 +1,4 @@
-//! Offline vendored stand-in for the [`rand`] crate.
+//! Offline vendored stand-in for the `rand` crate.
 //!
 //! The build environment has no access to the crates.io registry, so this
 //! workspace vendors the *subset* of the rand 0.9 API its code actually

@@ -1,4 +1,4 @@
-//! Offline vendored stand-in for [`serde`].
+//! Offline vendored stand-in for the `serde` crate.
 //!
 //! The build environment cannot reach the crates.io registry, so this crate
 //! provides the small serialization surface `llp_geom` needs: a
