@@ -1,0 +1,90 @@
+//! Microbenchmarks of the solve-service hot paths: fingerprinting,
+//! cache-hit admission, and batch coalescing. The solver itself is
+//! benchmarked elsewhere (`solvers.rs`); here the measured quantity is
+//! the *serving overhead* per request, which is what bounds service
+//! throughput once results are cached.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use llp_bench::RunBudget;
+use llp_core::instances::lp::LpProblem;
+use llp_geom::Halfspace;
+use llp_service::{Model, RequestInput, Service, ServiceConfig, SolveRequest};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A small inline LP (fast to solve) so the coalescing bench measures
+/// queue/batch machinery, not Algorithm 1.
+fn small_inline_lp() -> (LpProblem, Vec<Halfspace>) {
+    llp_workloads::random_lp(512, 2, 7)
+}
+
+fn inline_request(seed: u64) -> SolveRequest {
+    let (p, cs) = small_inline_lp();
+    SolveRequest {
+        input: RequestInput::InlineLp(p, cs),
+        model: Model::Ram,
+        budget: RunBudget::Quick,
+        seed,
+    }
+}
+
+fn bench_fingerprint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_fingerprint");
+    let (p, cs) = llp_workloads::random_lp(10_000, 3, 11);
+    let req = SolveRequest {
+        input: RequestInput::InlineLp(p, cs),
+        model: Model::Ram,
+        budget: RunBudget::Quick,
+        seed: 1,
+    };
+    group.bench_function("inline_lp_10k", |b| b.iter(|| black_box(req.fingerprint())));
+    let named = SolveRequest::scenario("lp_uniform", Model::Ram, RunBudget::Quick, 1);
+    group.bench_function("scenario_name", |b| {
+        b.iter(|| black_box(named.fingerprint()))
+    });
+    group.finish();
+}
+
+fn bench_cache_hit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_cache_hit");
+    let svc = Service::new(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    });
+    let req = inline_request(42);
+    // Warm the cache once; every timed submit is then a pure admission +
+    // LRU probe round-trip.
+    svc.submit(req.clone()).unwrap().wait();
+    group.bench_function("submit_hit", |b| {
+        b.iter(|| black_box(svc.submit(req.clone()).unwrap().wait()))
+    });
+    group.finish();
+}
+
+fn bench_coalesced_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_batch");
+    group.sample_size(20);
+    let svc = Service::new(ServiceConfig {
+        workers: 2,
+        cache_capacity: 0, // force a fresh solve per iteration
+        ..ServiceConfig::default()
+    });
+    // A fresh seed per iteration keeps the fingerprint new, so each
+    // replay is 1 solve + 15 coalesced joins (never a cache hit).
+    let fresh = AtomicU64::new(1_000);
+    group.bench_function("replay_16_duplicates", |b| {
+        b.iter(|| {
+            let req = inline_request(fresh.fetch_add(1, Ordering::Relaxed));
+            black_box(svc.run_replay(vec![req; 16]))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fingerprint,
+    bench_cache_hit,
+    bench_coalesced_batch
+);
+criterion_main!(benches);

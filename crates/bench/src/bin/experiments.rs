@@ -1,29 +1,39 @@
-//! Regenerates the experiment tables and the machine-readable scenario
-//! report (see DESIGN.md §3/§6).
+//! Regenerates the experiment tables, the machine-readable scenario
+//! report, and the service load-harness report (see DESIGN.md §3/§6/§7).
 //!
 //! Usage:
 //! ```text
 //! experiments [--quick] [--out PATH] [--label NAME] [--list]
+//!             [--threads N] [--workers N] [--requests N]
 //!             [--check PATH] [id ...]
 //! ```
 //!
 //! * ids: any table id (`t1` … `t14`, `t13p`, `f1`, `f2`), `tables` (all
-//!   of them), `scenarios` (the registry grid), or `all` (both; the
-//!   default).
+//!   of them), `scenarios` (the registry grid), `serve` (the service
+//!   load mixes), or `all` (everything; the default).
 //! * `--quick` shrinks every input size through one shared [`RunBudget`]
 //!   (the same budget the integration tests use).
-//! * When the scenario grid runs, the report is written as JSON to
-//!   `--out PATH`, or to `BENCH_<label>.json` with the label defaulting
-//!   to the unix timestamp — the file the repo's perf trajectory tracks.
-//!   Passing `--out` or `--label` runs the grid even when the ids alone
-//!   would not (so the requested file always exists).
+//! * `--threads N` pins the `llp_par` scan-thread count via
+//!   `llp_par::set_threads` — it overrides the `LLP_THREADS` environment
+//!   variable for this run (precedence: `--threads` > `LLP_THREADS` >
+//!   `available_parallelism`; see README "Parallelism").
+//! * `--workers N` / `--requests N` tune the `serve` harness (service
+//!   worker threads, requests per wave per mix).
+//! * When the scenario grid or the serve harness runs, the report is
+//!   written as JSON to `--out PATH`, or to `BENCH_<label>.json` with
+//!   the label defaulting to the unix timestamp — the file the repo's
+//!   perf trajectory tracks. Passing `--out` or `--label` runs the grid
+//!   even when the ids alone would not (so the requested file always
+//!   exists).
 //! * `--check PATH` parses a previously written report back into
 //!   [`llp_bench::report::Report`] and validates it (grid coverage, zero
-//!   violations, cross-model objective agreement); exits non-zero on any
-//!   failure. No experiments run in this mode.
+//!   violations, cross-model objective agreement, service-counter
+//!   conservation); exits non-zero on any failure. No experiments run in
+//!   this mode.
 //! * `--list` prints the registry without running anything.
 
 use llp_bench::report::{self, Report};
+use llp_bench::serve::{self, ServeOptions};
 use llp_bench::RunBudget;
 use llp_workloads::scenario::registry;
 
@@ -32,6 +42,9 @@ fn main() {
     let mut out: Option<String> = None;
     let mut label: Option<String> = None;
     let mut check: Option<String> = None;
+    let mut threads: Option<usize> = None;
+    let mut workers: Option<usize> = None;
+    let mut requests: Option<usize> = None;
     let mut list = false;
     let mut ids: Vec<String> = Vec::new();
 
@@ -42,14 +55,17 @@ fn main() {
             "--out" => out = Some(expect_value(&mut args, "--out")),
             "--label" => label = Some(expect_value(&mut args, "--label")),
             "--check" => check = Some(expect_value(&mut args, "--check")),
+            "--threads" => threads = Some(expect_usize(&mut args, "--threads")),
+            "--workers" => workers = Some(expect_usize(&mut args, "--workers")),
+            "--requests" => requests = Some(expect_usize(&mut args, "--requests")),
             "--list" => list = true,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: experiments [--quick] [--out PATH] [--label NAME] [--list] \
-                     [--check PATH] [id ...]"
+                     [--threads N] [--workers N] [--requests N] [--check PATH] [id ...]"
                 );
                 eprintln!(
-                    "ids: {:?}, 'tables', 'scenarios', or 'all' (default)",
+                    "ids: {:?}, 'tables', 'scenarios', 'serve', or 'all' (default)",
                     llp_bench::ALL
                 );
                 return;
@@ -58,6 +74,12 @@ fn main() {
         }
     }
     let budget = RunBudget::from_quick_flag(quick);
+    if let Some(n) = threads {
+        // Install the scan-thread override for this (main) thread; the
+        // service worker pool manages its own per-worker override via
+        // `ServiceConfig::solver_threads`.
+        llp_par::set_threads(Some(n));
+    }
 
     if let Some(path) = check {
         check_report(&path);
@@ -86,15 +108,17 @@ fn main() {
     if ids.is_empty() {
         ids.push("all".into());
     }
-    // --out/--label only make sense for the report: asking for them while
-    // naming ids that skip the grid would otherwise silently write
-    // nothing (and a later --check would read a stale file).
-    let mut run_scenarios = out.is_some() || label.is_some();
+    let mut run_scenarios = false;
+    let mut run_serve = false;
     for id in &ids {
         match id.as_str() {
             "scenarios" => run_scenarios = true,
+            "serve" => run_serve = true,
             "all" | "tables" => {
-                run_scenarios |= id == "all";
+                if id == "all" {
+                    run_scenarios = true;
+                    run_serve = true;
+                }
                 for table_id in llp_bench::ALL {
                     for table in llp_bench::run(table_id, budget) {
                         println!("{}", table.render());
@@ -108,11 +132,43 @@ fn main() {
             }
         }
     }
+    // Flags that only make sense for a specific run force that run:
+    // silently discarding them while naming ids that skip it would write
+    // nothing (and a later --check would read a stale file).
+    if workers.is_some() || requests.is_some() {
+        run_serve = true;
+    }
+    if (out.is_some() || label.is_some()) && !run_scenarios && !run_serve {
+        run_scenarios = true;
+    }
 
-    if run_scenarios {
+    if run_scenarios || run_serve {
         let label = label.unwrap_or_else(unix_timestamp);
-        let report = report::run_scenarios(budget, &label);
-        println!("{}", report.summary_table().render());
+        let mut report = if run_scenarios {
+            report::run_scenarios(budget, &label)
+        } else {
+            Report {
+                schema_version: report::SCHEMA_VERSION,
+                label: label.clone(),
+                budget: budget.name().to_string(),
+                cells: Vec::new(),
+                service: Vec::new(),
+            }
+        };
+        if run_scenarios {
+            println!("{}", report.summary_table().render());
+        }
+        if run_serve {
+            let mut opts = ServeOptions::for_budget(budget);
+            if let Some(w) = workers {
+                opts.workers = w.max(1);
+            }
+            if let Some(r) = requests {
+                opts.requests = r.max(1);
+            }
+            report.service = serve::run_mixes(budget, &opts);
+            println!("{}", report.service_summary_table().render());
+        }
         let path = out.unwrap_or_else(|| format!("BENCH_{label}.json"));
         std::fs::write(&path, report.to_json()).unwrap_or_else(|e| {
             eprintln!("error: cannot write {path}: {e}");
@@ -123,9 +179,10 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!(
-            "wrote {path} ({} cells, {} scenarios, budget {})",
+            "wrote {path} ({} grid cells, {} scenarios, {} service mixes, budget {})",
             report.cells.len(),
             report.cells.len() / report::MODELS.len(),
+            report.service.len(),
             report.budget
         );
     }
@@ -136,6 +193,17 @@ fn expect_value(args: &mut impl Iterator<Item = String>, flag: &str) -> String {
         eprintln!("error: {flag} needs a value");
         std::process::exit(2);
     })
+}
+
+fn expect_usize(args: &mut impl Iterator<Item = String>, flag: &str) -> usize {
+    let raw = expect_value(args, flag);
+    raw.parse::<usize>()
+        .ok()
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            eprintln!("error: {flag} needs a positive integer, got {raw:?}");
+            std::process::exit(2);
+        })
 }
 
 fn unix_timestamp() -> String {
@@ -157,10 +225,11 @@ fn check_report(path: &str) {
     match report::validate(&report) {
         Ok(()) => {
             println!(
-                "{path}: ok — schema v{}, {} cells, {} scenarios, budget {}",
+                "{path}: ok — schema v{}, {} grid cells, {} scenarios, {} service mixes, budget {}",
                 report.schema_version,
                 report.cells.len(),
                 report.cells.len() / report::MODELS.len(),
+                report.service.len(),
                 report.budget
             );
         }

@@ -10,9 +10,14 @@
 //!
 //! The [`report`] module is the machine-readable side: it runs every
 //! registered scenario (see `llp_workloads::scenario`) in all four models
-//! and serializes the solver stats and meter readings to JSON.
+//! and serializes the solver stats and meter readings to JSON. The
+//! [`serve`] module is the load harness on top of `llp_service`: it
+//! replays traffic mixes drawn from the same registry against the
+//! concurrent solve service and meters the serving layer into the same
+//! report.
 
 pub mod report;
+pub mod serve;
 
 pub use llp_workloads::scenario::RunBudget;
 

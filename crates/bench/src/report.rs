@@ -14,20 +14,18 @@
 //! writer emits Rust's shortest-round-trip float formatting.
 
 use crate::RunBudget;
-use llp_bigdata::coordinator as coord_impl;
-use llp_bigdata::mpc::{self as mpc_impl, MpcConfig};
-use llp_bigdata::streaming::{self as stream_impl, SamplingMode};
-use llp_core::clarkson::ClarksonConfig;
-use llp_core::lptype::{count_violations, LpTypeProblem};
-use llp_workloads::partition_by_sizes;
+use llp_core::lptype::LpTypeProblem;
+use llp_service::{ExecParams, Model};
 use llp_workloads::scenario::{registry, Scenario, ScenarioData};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-/// Bumped whenever a [`Cell`]/[`Report`] field changes meaning; consumers
-/// (the perf-trajectory differ, CI `--check`) refuse unknown versions.
-pub const SCHEMA_VERSION: u64 = 1;
+/// Bumped whenever a [`Cell`]/[`Report`]/[`ServiceCell`] field changes
+/// meaning; consumers (the perf-trajectory differ, CI `--check`) refuse
+/// unknown versions. v2 added the `service` block (the `experiments
+/// serve` load-harness results).
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// The models every scenario runs under, in report order.
 pub const MODELS: &[&str] = &["ram", "streaming", "coordinator", "mpc"];
@@ -80,6 +78,57 @@ pub struct Cell {
     pub wall_ms: f64,
 }
 
+/// One load-mix measurement of the solve service (`experiments serve`).
+/// Counter fields mirror `llp_service::ServiceStats`; latency fields are
+/// nearest-rank percentiles of end-to-end request latency.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ServiceCell {
+    /// Mix name (`"uniform"`, `"hot_key"`, `"heavy_tail"`).
+    pub mix: String,
+    /// Service worker threads.
+    pub workers: u64,
+    /// `llp_par` threads per worker solve.
+    pub solver_threads: u64,
+    /// Bounded-queue capacity (batches).
+    pub queue_capacity: u64,
+    /// LRU result-cache capacity (entries).
+    pub cache_capacity: u64,
+    /// Times the request stream was replayed (wave 2+ exercises the
+    /// cache).
+    pub waves: u64,
+    /// Requests offered.
+    pub submitted: u64,
+    /// Responses delivered.
+    pub completed: u64,
+    /// Requests dropped by admission control.
+    pub shed: u64,
+    /// Requests refused before queueing (unknown scenario, closed
+    /// service).
+    pub rejected: u64,
+    /// Batches executed by a worker.
+    pub solves: u64,
+    /// Requests coalesced into an in-flight batch.
+    pub batched: u64,
+    /// Requests answered from the result cache.
+    pub cache_hits: u64,
+    /// Median end-to-end latency, milliseconds.
+    pub p50_ms: f64,
+    /// p95 end-to-end latency, milliseconds.
+    pub p95_ms: f64,
+    /// p99 end-to-end latency, milliseconds.
+    pub p99_ms: f64,
+    /// Worst end-to-end latency, milliseconds.
+    pub max_ms: f64,
+    /// Mean end-to-end latency, milliseconds.
+    pub mean_ms: f64,
+    /// p95 queue wait, milliseconds.
+    pub queue_p95_ms: f64,
+    /// Completed requests per second over the mix's wall-clock.
+    pub throughput_rps: f64,
+    /// Wall-clock of the whole mix run, milliseconds.
+    pub wall_ms: f64,
+}
+
 /// A full scenario-grid run: the file format of `BENCH_<label>.json`.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Report {
@@ -90,7 +139,11 @@ pub struct Report {
     /// `"quick"` or `"full"`.
     pub budget: String,
     /// One cell per (scenario × model), scenario-major in registry order.
+    /// Empty for serve-only reports.
     pub cells: Vec<Cell>,
+    /// One cell per load mix from `experiments serve`. Empty when the
+    /// serve harness did not run.
+    pub service: Vec<ServiceCell>,
 }
 
 impl Report {
@@ -160,6 +213,49 @@ impl Report {
         }
         t
     }
+
+    /// A human summary of the service load mixes (one row per mix).
+    pub fn service_summary_table(&self) -> crate::Table {
+        let mut t = crate::Table::new(
+            &format!(
+                "S2  Service load mixes ({} budget, label {:?})",
+                self.budget, self.label
+            ),
+            &[
+                "mix",
+                "workers",
+                "submitted",
+                "completed",
+                "shed",
+                "solves",
+                "batched",
+                "cache_hits",
+                "p50_ms",
+                "p95_ms",
+                "p99_ms",
+                "rps",
+                "wall_ms",
+            ],
+        );
+        for c in &self.service {
+            t.push(vec![
+                c.mix.clone(),
+                c.workers.to_string(),
+                c.submitted.to_string(),
+                c.completed.to_string(),
+                c.shed.to_string(),
+                c.solves.to_string(),
+                c.batched.to_string(),
+                c.cache_hits.to_string(),
+                format!("{:.3}", c.p50_ms),
+                format!("{:.3}", c.p95_ms),
+                format!("{:.3}", c.p99_ms),
+                format!("{:.0}", c.throughput_rps),
+                format!("{:.1}", c.wall_ms),
+            ]);
+        }
+        t
+    }
 }
 
 /// Runs the full scenario × model grid at the given budget.
@@ -173,6 +269,7 @@ pub fn run_scenarios(budget: RunBudget, label: &str) -> Report {
         label: label.to_string(),
         budget: budget.name().to_string(),
         cells,
+        service: Vec::new(),
     }
 }
 
@@ -208,95 +305,39 @@ fn run_cell<P: LpTypeProblem>(
     data: &[P::Constraint],
     model: &str,
 ) -> Cell {
-    let cfg = ClarksonConfig::lean(sc.r);
+    let m =
+        Model::parse(model).unwrap_or_else(|| panic!("unknown model {model:?}; known: {MODELS:?}"));
+    // The grid cell is the same computation the solve service performs:
+    // one shared dispatch (`llp_service::exec`) carries the partition
+    // layouts, meter charges, and timer placement for both.
+    let params = ExecParams {
+        r: sc.r,
+        coord_sites: COORD_SITES,
+        mpc_delta: MPC_DELTA,
+        skew: sc.skew,
+    };
     let mut rng = StdRng::seed_from_u64(solver_seed(sc, model));
-    let mut cell = Cell {
+    let out = llp_service::solve_model(problem, data, m, &params, &mut rng)
+        .unwrap_or_else(|e| panic!("{}/{model}: {e}", sc.name));
+    Cell {
         scenario: sc.name.to_string(),
         family: sc.family.name().to_string(),
         model: model.to_string(),
-        n: data.len() as u64,
+        n: out.body.n,
         d: sc.d as u64,
         seed: sc.seed,
-        objective: 0.0,
-        violations: 0,
-        iterations: 0,
-        passes: 0,
-        rounds: 0,
-        space_bits: 0,
-        comm_bits: 0,
-        max_round_bits: 0,
-        load_bits: 0,
-        total_load_bits: 0,
-        wall_ms: 0.0,
-    };
-    // Harness work (cloning the data, cutting partitions) happens before
-    // the timer starts: wall_ms is solve time, comparable across models.
-    let solution = match model {
-        "ram" => {
-            let start = std::time::Instant::now();
-            let (sol, stats) = llp_core::clarkson_solve(problem, data, &cfg, &mut rng)
-                .unwrap_or_else(|e| panic!("{}/ram: {:?}", sc.name, e.0));
-            cell.wall_ms = start.elapsed().as_secs_f64() * 1000.0;
-            cell.iterations = stats.iterations as u64;
-            sol
-        }
-        "streaming" => {
-            let start = std::time::Instant::now();
-            let (sol, stats) =
-                stream_impl::solve(problem, data, &cfg, SamplingMode::TwoPassIid, &mut rng)
-                    .unwrap_or_else(|e| panic!("{}/streaming: {e:?}", sc.name));
-            cell.wall_ms = start.elapsed().as_secs_f64() * 1000.0;
-            cell.iterations = stats.iterations as u64;
-            cell.passes = stats.passes;
-            cell.space_bits = stats.peak_space_bits;
-            sol
-        }
-        "coordinator" => {
-            let sizes = sc.partition_sizes(data.len(), COORD_SITES);
-            let parts = partition_by_sizes(data.to_vec(), &sizes);
-            let start = std::time::Instant::now();
-            let (sol, stats) = coord_impl::solve_partitioned(problem, parts, &cfg, &mut rng)
-                .unwrap_or_else(|e| panic!("{}/coordinator: {e:?}", sc.name));
-            cell.wall_ms = start.elapsed().as_secs_f64() * 1000.0;
-            cell.iterations = stats.iterations as u64;
-            cell.rounds = stats.rounds;
-            cell.comm_bits = stats.total_bits;
-            cell.max_round_bits = stats.max_round_bits;
-            sol
-        }
-        "mpc" => {
-            let mpc_cfg = MpcConfig::lean(MPC_DELTA);
-            let start;
-            let (sol, stats) = match sc.skew {
-                // Skewed layouts cut the same machine count mpc::solve
-                // would use, just with geometric sizes.
-                Some(_) => {
-                    let k = mpc_impl::machine_count(data.len(), MPC_DELTA);
-                    let sizes = sc.partition_sizes(data.len(), k);
-                    let parts = partition_by_sizes(data.to_vec(), &sizes);
-                    start = std::time::Instant::now();
-                    mpc_impl::solve_partitioned(problem, parts, &mpc_cfg, &mut rng)
-                        .unwrap_or_else(|e| panic!("{}/mpc-skew: {e:?}", sc.name))
-                }
-                None => {
-                    let owned = data.to_vec();
-                    start = std::time::Instant::now();
-                    mpc_impl::solve(problem, owned, &mpc_cfg, &mut rng)
-                        .unwrap_or_else(|e| panic!("{}/mpc: {e:?}", sc.name))
-                }
-            };
-            cell.wall_ms = start.elapsed().as_secs_f64() * 1000.0;
-            cell.iterations = stats.iterations as u64;
-            cell.rounds = stats.rounds;
-            cell.load_bits = stats.max_load_bits;
-            cell.total_load_bits = stats.total_load_bits;
-            sol
-        }
-        other => panic!("unknown model {other:?}; known: {MODELS:?}"),
-    };
-    cell.objective = problem.objective_value(&solution);
-    cell.violations = count_violations(problem, &solution, data) as u64;
-    cell
+        objective: out.body.objective,
+        violations: out.body.violations,
+        iterations: out.body.iterations,
+        passes: out.body.passes,
+        rounds: out.body.rounds,
+        space_bits: out.body.space_bits,
+        comm_bits: out.body.comm_bits,
+        max_round_bits: out.body.max_round_bits,
+        load_bits: out.body.load_bits,
+        total_load_bits: out.body.total_load_bits,
+        wall_ms: out.wall_ms,
+    }
 }
 
 /// Relative tolerance for cross-model objective agreement.
@@ -304,10 +345,15 @@ pub const OBJECTIVE_TOL: f64 = 1e-5;
 
 /// Checks the invariants CI relies on, self-contained (no registry
 /// access, so reports from other commits still validate):
-/// schema version, known budget, non-empty grid, every scenario present
-/// in all four models exactly once, zero violations everywhere, and
-/// per-scenario objective agreement across models within
-/// [`OBJECTIVE_TOL`].
+/// schema version, known budget, at least one non-empty block, and then
+/// per block — grid: every scenario present in all four models exactly
+/// once, zero violations everywhere, per-scenario objective agreement
+/// across models within [`OBJECTIVE_TOL`]; service: counter conservation
+/// (`completed + shed == submitted`,
+/// `cache_hits + solves + batched == completed`), ordered latency
+/// percentiles, positive throughput, and a non-zero cache-hit count on
+/// the hot-key mix (its second wave replays warmed keys by
+/// construction).
 pub fn validate(report: &Report) -> Result<(), String> {
     if report.schema_version != SCHEMA_VERSION {
         return Err(format!(
@@ -318,8 +364,12 @@ pub fn validate(report: &Report) -> Result<(), String> {
     if RunBudget::parse(&report.budget).is_none() {
         return Err(format!("unknown budget {:?}", report.budget));
     }
+    if report.cells.is_empty() && report.service.is_empty() {
+        return Err("empty report (no grid cells and no service cells)".into());
+    }
+    validate_service(&report.service)?;
     if report.cells.is_empty() {
-        return Err("empty report".into());
+        return Ok(());
     }
     let mut scenarios: Vec<&str> = report.cells.iter().map(|c| c.scenario.as_str()).collect();
     scenarios.sort_unstable();
@@ -363,6 +413,48 @@ pub fn validate(report: &Report) -> Result<(), String> {
     Ok(())
 }
 
+/// The service-block leg of [`validate`].
+fn validate_service(cells: &[ServiceCell]) -> Result<(), String> {
+    let mut mixes: Vec<&str> = cells.iter().map(|c| c.mix.as_str()).collect();
+    mixes.sort_unstable();
+    mixes.dedup();
+    if mixes.len() != cells.len() {
+        return Err("duplicate service mix names".into());
+    }
+    for c in cells {
+        let ctx = |what: &str| format!("service mix {:?}: {what}", c.mix);
+        if c.completed + c.shed + c.rejected != c.submitted {
+            return Err(ctx(&format!(
+                "completed {} + shed {} + rejected {} != submitted {}",
+                c.completed, c.shed, c.rejected, c.submitted
+            )));
+        }
+        if c.cache_hits + c.solves + c.batched != c.completed {
+            return Err(ctx(&format!(
+                "cache_hits {} + solves {} + batched {} != completed {}",
+                c.cache_hits, c.solves, c.batched, c.completed
+            )));
+        }
+        if c.completed == 0 {
+            return Err(ctx("no completed requests"));
+        }
+        let quantiles = [c.p50_ms, c.p95_ms, c.p99_ms, c.max_ms];
+        if quantiles.iter().any(|v| v.is_nan()) || quantiles.windows(2).any(|w| w[0] > w[1]) {
+            return Err(ctx(&format!(
+                "latency percentiles out of order: p50 {} p95 {} p99 {} max {}",
+                c.p50_ms, c.p95_ms, c.p99_ms, c.max_ms
+            )));
+        }
+        if c.throughput_rps.is_nan() || c.throughput_rps <= 0.0 {
+            return Err(ctx("non-positive throughput"));
+        }
+        if c.mix == "hot_key" && c.waves >= 2 && c.cache_hits == 0 {
+            return Err(ctx("hot-key mix produced zero cache hits"));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -389,12 +481,39 @@ mod tests {
         }
     }
 
+    fn demo_service_cell(mix: &str) -> ServiceCell {
+        ServiceCell {
+            mix: mix.to_string(),
+            workers: 2,
+            solver_threads: 1,
+            queue_capacity: 64,
+            cache_capacity: 256,
+            waves: 2,
+            submitted: 100,
+            completed: 95,
+            shed: 4,
+            rejected: 1,
+            solves: 30,
+            batched: 15,
+            cache_hits: 50,
+            p50_ms: 1.0,
+            p95_ms: 4.0,
+            p99_ms: 9.0,
+            max_ms: 12.0,
+            mean_ms: 2.0,
+            queue_p95_ms: 0.5,
+            throughput_rps: 950.0,
+            wall_ms: 100.0,
+        }
+    }
+
     fn demo_report() -> Report {
         Report {
             schema_version: SCHEMA_VERSION,
             label: "demo".to_string(),
             budget: "quick".to_string(),
             cells: MODELS.iter().map(|m| demo_cell("s1", m, -0.75)).collect(),
+            service: vec![demo_service_cell("uniform"), demo_service_cell("hot_key")],
         }
     }
 
@@ -422,6 +541,38 @@ mod tests {
         let mut r = demo_report();
         r.cells[3].objective = -0.80;
         assert!(validate(&r).unwrap_err().contains("disagreement"));
+    }
+
+    #[test]
+    fn validate_accepts_a_serve_only_report() {
+        let mut r = demo_report();
+        r.cells.clear();
+        assert_eq!(validate(&r), Ok(()));
+        r.service.clear();
+        assert!(validate(&r).unwrap_err().contains("empty report"));
+    }
+
+    #[test]
+    fn validate_rejects_inconsistent_service_counters() {
+        let mut r = demo_report();
+        r.service[0].shed = 6; // completed + shed != submitted
+        assert!(validate(&r).unwrap_err().contains("submitted"));
+        let mut r = demo_report();
+        r.service[0].batched = 16; // hits + solves + batched != completed
+        assert!(validate(&r).unwrap_err().contains("completed"));
+        let mut r = demo_report();
+        r.service[1].cache_hits = 0;
+        r.service[1].solves = 80;
+        assert!(
+            validate(&r).unwrap_err().contains("cache hits"),
+            "hot-key mix must hit the cache"
+        );
+        let mut r = demo_report();
+        r.service[0].p95_ms = 100.0; // > p99
+        assert!(validate(&r).unwrap_err().contains("percentiles"));
+        let mut r = demo_report();
+        r.service[1].mix = "uniform".to_string();
+        assert!(validate(&r).unwrap_err().contains("duplicate"));
     }
 
     #[test]

@@ -1,0 +1,227 @@
+//! The `experiments serve` load harness: replay scenario-registry
+//! traffic mixes against an [`llp_service::Service`] and meter the
+//! serving layer (latency percentiles, throughput, cache/batch/shed
+//! counters) into [`ServiceCell`] rows of the machine-readable report.
+//!
+//! Three mixes, all drawn from the same 11-scenario registry with a
+//! fixed per-mix seed so the request streams are reproducible:
+//!
+//! * `uniform` — every scenario equally likely (worst case for the
+//!   cache: keys spread across the whole registry × model grid);
+//! * `hot_key` — one scenario dominates (~86 % of requests), the
+//!   cache-friendly skew a production frontend sees on a viral key;
+//! * `heavy_tail` — Zipf-like popularity (`w_i ∝ (i+1)^{-1.5}`), the
+//!   AsymDPOP-style asymmetric workload where a few keys are hot and a
+//!   long tail stays cold.
+//!
+//! Each mix submits its stream **live** (one request at a time, so
+//! admission control and batching race real worker timing — that is the
+//! measurement) and then replays the identical stream for a second wave
+//! against the warmed cache. Wave barriers make the hot-key mix's
+//! non-zero cache-hit count structural: every wave-2 key was solved (or
+//! coalesced) in wave 1.
+
+use crate::report::ServiceCell;
+use crate::RunBudget;
+use llp_sampling::weighted::sample_iid;
+use llp_service::{Admission, Model, Service, ServiceConfig, SolveRequest, Ticket};
+use llp_workloads::scenario::{registry, Scenario};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The serve harness's mix names, in report order.
+pub const MIXES: &[&str] = &["uniform", "hot_key", "heavy_tail"];
+
+/// Load-harness knobs (`experiments serve` flags map onto this).
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Service worker threads.
+    pub workers: usize,
+    /// `llp_par` threads inside each worker solve.
+    pub solver_threads: usize,
+    /// Bounded-queue capacity (batches).
+    pub queue_capacity: usize,
+    /// LRU result-cache capacity.
+    pub cache_capacity: usize,
+    /// Requests per wave per mix.
+    pub requests: usize,
+    /// Times the stream is replayed (≥ 2 exercises the warm cache).
+    pub waves: usize,
+}
+
+impl ServeOptions {
+    /// Defaults for a budget: quick keeps the 3-mix run in CI seconds.
+    pub fn for_budget(budget: RunBudget) -> Self {
+        ServeOptions {
+            workers: 2,
+            solver_threads: 1,
+            queue_capacity: 64,
+            cache_capacity: 256,
+            requests: budget.pick(200, 2000),
+            waves: 2,
+        }
+    }
+}
+
+/// Per-scenario popularity weights of a mix over `k` registry entries.
+fn mix_weights(mix: &str, k: usize) -> Vec<f64> {
+    match mix {
+        "uniform" => vec![1.0; k],
+        // One dominant key: weight 60 vs 1 each for the rest — ~86 % of
+        // requests land on scenario 0 at k = 11.
+        "hot_key" => (0..k).map(|i| if i == 0 { 60.0 } else { 1.0 }).collect(),
+        "heavy_tail" => (0..k).map(|i| ((i + 1) as f64).powf(-1.5)).collect(),
+        other => panic!("unknown mix {other:?}; known: {MIXES:?}"),
+    }
+}
+
+/// The solver seed a loadgen request uses: a deterministic function of
+/// (scenario, model) — *not* of the request index — so repeated hits on
+/// a popular key share a fingerprint and can batch and cache.
+fn request_seed(sc: &Scenario, model: Model) -> u64 {
+    let mut h = sc.seed ^ 0x51ce_ca11_0b5e_55ed;
+    for b in model.name().bytes() {
+        h = h.wrapping_mul(0x100_0000_01b3).wrapping_add(u64::from(b));
+    }
+    h
+}
+
+/// A deterministic per-mix seed for the arrival stream.
+fn mix_seed(mix: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in mix.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Generates one wave of a mix's request stream.
+pub fn mix_stream(mix: &str, budget: RunBudget, requests: usize) -> Vec<SolveRequest> {
+    let scenarios = registry(budget);
+    let weights = mix_weights(mix, scenarios.len());
+    let mut rng = StdRng::seed_from_u64(mix_seed(mix));
+    let picks = sample_iid(&weights, requests, &mut rng);
+    picks
+        .into_iter()
+        .map(|i| {
+            let sc = &scenarios[i];
+            let model = Model::ALL[rng.random_range(0..Model::ALL.len())];
+            SolveRequest::scenario(sc.name, model, budget, request_seed(sc, model))
+        })
+        .collect()
+}
+
+/// Runs one mix against a fresh service and meters it.
+pub fn run_mix(mix: &str, budget: RunBudget, opts: &ServeOptions) -> ServiceCell {
+    let svc = Service::new(ServiceConfig {
+        workers: opts.workers,
+        queue_capacity: opts.queue_capacity,
+        cache_capacity: opts.cache_capacity,
+        solver_threads: opts.solver_threads,
+        ..ServiceConfig::default()
+    });
+    let stream = mix_stream(mix, budget, opts.requests);
+    let start = std::time::Instant::now();
+    for _ in 0..opts.waves {
+        // Live submission: admission/batching race the workers (that is
+        // the measurement); the barrier at the end of each wave is what
+        // makes wave 2 a warmed-cache replay.
+        let mut tickets: Vec<Ticket> = Vec::with_capacity(stream.len());
+        for req in &stream {
+            match svc.submit(req.clone()) {
+                Ok(Admission::Cached(_)) => {}
+                Ok(Admission::Pending(t)) => tickets.push(t),
+                Err(_) => {} // shed — counted by the service
+            }
+        }
+        for t in tickets {
+            let response = t.wait();
+            if let Err(e) = &response.body {
+                panic!("serve mix {mix:?}: registry scenario failed to solve: {e}");
+            }
+        }
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
+    let stats = svc.stats();
+    let lat = svc.latency_summary();
+    let queue = svc.queue_wait_summary();
+    ServiceCell {
+        mix: mix.to_string(),
+        workers: opts.workers as u64,
+        solver_threads: opts.solver_threads as u64,
+        queue_capacity: opts.queue_capacity as u64,
+        cache_capacity: opts.cache_capacity as u64,
+        waves: opts.waves as u64,
+        submitted: stats.submitted,
+        completed: stats.completed,
+        shed: stats.shed,
+        rejected: stats.rejected,
+        solves: stats.solves,
+        batched: stats.batched,
+        cache_hits: stats.cache_hits,
+        p50_ms: lat.p50_ms,
+        p95_ms: lat.p95_ms,
+        p99_ms: lat.p99_ms,
+        max_ms: lat.max_ms,
+        mean_ms: lat.mean_ms,
+        queue_p95_ms: queue.p95_ms,
+        throughput_rps: stats.completed as f64 / (wall_ms / 1000.0).max(1e-9),
+        wall_ms,
+    }
+}
+
+/// Runs all three mixes (the `experiments serve` payload).
+pub fn run_mixes(budget: RunBudget, opts: &ServeOptions) -> Vec<ServiceCell> {
+    MIXES.iter().map(|m| run_mix(m, budget, opts)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_reproducible_and_mix_shaped() {
+        let a = mix_stream("hot_key", RunBudget::Quick, 300);
+        let b = mix_stream("hot_key", RunBudget::Quick, 300);
+        assert_eq!(a.len(), 300);
+        let fp = |s: &[SolveRequest]| s.iter().map(SolveRequest::fingerprint).collect::<Vec<_>>();
+        assert_eq!(fp(&a), fp(&b), "stream generation must be deterministic");
+        // The hot scenario dominates.
+        let hot = registry(RunBudget::Quick)[0].name;
+        let hot_count = a
+            .iter()
+            .filter(|r| matches!(&r.input, llp_service::RequestInput::Scenario(n) if n == hot))
+            .count();
+        assert!(hot_count > 200, "hot key got only {hot_count}/300");
+    }
+
+    #[test]
+    fn uniform_and_heavy_tail_differ_in_spread() {
+        let spread = |mix: &str| {
+            let stream = mix_stream(mix, RunBudget::Quick, 400);
+            let mut names: Vec<String> = stream
+                .iter()
+                .map(|r| match &r.input {
+                    llp_service::RequestInput::Scenario(n) => n.clone(),
+                    _ => unreachable!("loadgen emits scenario requests"),
+                })
+                .collect();
+            names.sort();
+            names.dedup();
+            names.len()
+        };
+        let registry_len = registry(RunBudget::Quick).len();
+        assert_eq!(
+            spread("uniform"),
+            registry_len,
+            "uniform must touch all scenarios"
+        );
+        assert!(spread("heavy_tail") >= 3, "heavy tail still has a tail");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown mix")]
+    fn unknown_mix_panics() {
+        let _ = mix_weights("lukewarm", 11);
+    }
+}

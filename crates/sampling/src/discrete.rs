@@ -103,11 +103,35 @@ pub fn binomial<R: Rng + ?Sized>(n: u64, p: f64, rng: &mut R) -> u64 {
 
 /// Draws a multinomial sample: `m` balls into bins with the given
 /// (unnormalized, non-negative) weights. Returns per-bin counts summing to
-/// `m`.
+/// `m`. Zero-weight bins never receive a ball — the same contract as
+/// `weighted::sample_iid` and `WeightIndex` (this sampler realizes the
+/// distribution by sequential conditional binomials, not an alias table,
+/// but the zero-weight edge is the same: the residual-mass dump must not
+/// land on a weightless tail).
 ///
 /// # Panics
 /// Panics if weights are empty, negative, non-finite, or all zero.
 pub fn multinomial<R: Rng + ?Sized>(m: u64, weights: &[f64], rng: &mut R) -> Vec<u64> {
+    conditional_binomials(m, weights, |n, p, r| binomial(n, p, r), rng)
+}
+
+/// The conditional-binomial chain behind [`multinomial`], with the
+/// binomial sampler injectable so tests can drive the floating-point
+/// stranding paths the real RNG cannot be forced to produce (mirrors the
+/// `index_for_target` treatment in `weighted`).
+///
+/// Rounding-stranded balls — a conditional draw leaving `remaining > 0`
+/// when the residual mass `rest` has already cancelled to ≤ 0, or
+/// reaching the end of the chain — are credited to the **last
+/// positive-weight bin**, which owns the tail of the distribution. Before
+/// this audit the dump target was the literal last bin, so a zero-weight
+/// tail (`[1.0, 0.0]`) could be selected through FP cancellation.
+fn conditional_binomials<R: Rng + ?Sized>(
+    m: u64,
+    weights: &[f64],
+    mut draw: impl FnMut(u64, f64, &mut R) -> u64,
+    rng: &mut R,
+) -> Vec<u64> {
     assert!(!weights.is_empty(), "multinomial over zero bins");
     let mut total: f64 = 0.0;
     for &w in weights {
@@ -115,32 +139,32 @@ pub fn multinomial<R: Rng + ?Sized>(m: u64, weights: &[f64], rng: &mut R) -> Vec
         total += w;
     }
     assert!(total > 0.0, "total weight must be positive");
+    let last = weights
+        .iter()
+        .rposition(|&w| w > 0.0)
+        .expect("total weight is positive");
     let mut counts = vec![0u64; weights.len()];
     let mut remaining = m;
     let mut rest = total;
-    for (i, &w) in weights.iter().enumerate() {
+    for (i, &w) in weights.iter().enumerate().take(last + 1) {
         if remaining == 0 {
             break;
         }
-        if i == weights.len() - 1 {
-            counts[i] = remaining;
+        if i == last || rest <= 0.0 {
+            counts[last] += remaining;
             break;
         }
-        let p = if rest > 0.0 {
-            (w / rest).clamp(0.0, 1.0)
-        } else {
-            0.0
-        };
-        let x = binomial(remaining, p, rng);
+        if w == 0.0 {
+            // Zero-weight bins draw nothing and leave the residual mass
+            // untouched (the old code called binomial(·, 0.0), which also
+            // consumed no randomness — the RNG stream is unchanged).
+            continue;
+        }
+        let p = (w / rest).clamp(0.0, 1.0);
+        let x = draw(remaining, p, rng);
         counts[i] = x;
         remaining -= x;
         rest -= w;
-        if rest <= 0.0 {
-            // All residual mass consumed; any remaining balls stay 0 —
-            // only possible through floating-point cancellation with
-            // remaining == 0.
-            break;
-        }
     }
     counts
 }
@@ -240,5 +264,64 @@ mod tests {
     #[should_panic(expected = "total weight must be positive")]
     fn multinomial_rejects_all_zero() {
         let _ = multinomial(5, &[0.0, 0.0], &mut rng());
+    }
+
+    #[test]
+    fn multinomial_zero_tail_never_gets_balls() {
+        // Regression mirroring `weighted::sample_iid`'s `[1.0, 0.0]`-tail
+        // fix: the residual-dump bin is the last *positive* weight, never
+        // a weightless tail.
+        let mut r = rng();
+        for _ in 0..200 {
+            let counts = multinomial(500, &[1.0, 0.0], &mut r);
+            assert_eq!(counts, vec![500, 0]);
+            let counts = multinomial(500, &[2.0, 3.0, 0.0, 0.0], &mut r);
+            assert_eq!(counts.iter().sum::<u64>(), 500);
+            assert_eq!(&counts[2..], &[0, 0], "zero tail selected: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn stranded_draws_land_on_the_last_positive_bin() {
+        // Drive the conditional-binomial chain with an adversarial
+        // sampler the RNG cannot be forced to produce (the
+        // `index_for_target` treatment from `weighted`): every draw
+        // under-draws to 0, stranding all m balls at the end of the
+        // chain. Before the audit the dump target was the literal last
+        // bin — the zero-weight tail — and on the `[w, 0.0]` shape the
+        // balls were silently lost instead (the chain broke on
+        // `rest <= 0` with `remaining > 0`).
+        let mut r = rng();
+        let starve = |_n: u64, _p: f64, _r: &mut StdRng| 0u64;
+        let counts = conditional_binomials(10, &[1.0, 1.0, 0.0], starve, &mut r);
+        assert_eq!(counts, vec![0, 10, 0], "dump must hit last positive bin");
+        let counts = conditional_binomials(10, &[1.0, 0.0], starve, &mut r);
+        assert_eq!(
+            counts,
+            vec![10, 0],
+            "no ball may be lost or land on 0-weight"
+        );
+        let counts = conditional_binomials(7, &[0.0, 2.0, 0.0, 0.0], starve, &mut r);
+        assert_eq!(counts, vec![0, 7, 0, 0]);
+
+        // A partially under-drawing sampler: the last positive bin
+        // absorbs exactly the stranded remainder.
+        let half = |n: u64, _p: f64, _r: &mut StdRng| n / 2;
+        let counts = conditional_binomials(8, &[1.0, 1.0, 1.0, 0.0], half, &mut r);
+        assert_eq!(counts.iter().sum::<u64>(), 8);
+        assert_eq!(counts[3], 0);
+        assert_eq!(counts, vec![4, 2, 2, 0]);
+    }
+
+    #[test]
+    fn multinomial_zero_bins_do_not_consume_randomness() {
+        // Skipping zero-weight bins must leave the RNG stream unchanged
+        // (the old code drew binomial(·, 0) there, which also consumed
+        // nothing) — interleaved zeros therefore cannot perturb the
+        // counts of the positive bins.
+        let dense = multinomial(1000, &[1.0, 2.0, 3.0], &mut rng());
+        let sparse = multinomial(1000, &[0.0, 1.0, 0.0, 2.0, 0.0, 3.0, 0.0], &mut rng());
+        assert_eq!(dense, vec![sparse[1], sparse[3], sparse[5]]);
+        assert_eq!(sparse[0] + sparse[2] + sparse[4] + sparse[6], 0);
     }
 }

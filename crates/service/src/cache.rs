@@ -1,0 +1,106 @@
+//! A small deterministic LRU result cache.
+//!
+//! Keys are request fingerprints (`u128`); recency is tracked by a logical
+//! clock bumped on every touch, so eviction order depends only on the
+//! access sequence — never on wall time — which keeps the service's
+//! replay runs (`Service::run_replay`) bit-reproducible. Capacity is
+//! expected to be small (hundreds), so the O(capacity) eviction scan is
+//! cheaper than maintaining an intrusive list.
+
+use std::collections::HashMap;
+
+/// Fingerprint-keyed LRU map.
+#[derive(Clone, Debug)]
+pub struct LruCache<V> {
+    capacity: usize,
+    clock: u64,
+    map: HashMap<u128, (u64, V)>,
+}
+
+impl<V: Clone> LruCache<V> {
+    /// An empty cache. `capacity == 0` disables caching entirely.
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            capacity,
+            clock: 0,
+            map: HashMap::with_capacity(capacity.min(1024)),
+        }
+    }
+
+    /// Looks up a key, refreshing its recency on a hit.
+    pub fn get(&mut self, key: u128) -> Option<V> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.map.get_mut(&key).map(|(stamp, v)| {
+            *stamp = clock;
+            v.clone()
+        })
+    }
+
+    /// Inserts (or refreshes) a key, evicting the least recently used
+    /// entry when full.
+    pub fn insert(&mut self, key: u128, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.clock += 1;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (s, _))| *s)
+                .map(|(k, _)| *k)
+            {
+                self.map.remove(&oldest);
+            }
+        }
+        self.map.insert(key, (self.clock, value));
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.insert(1, "a");
+        c.insert(2, "b");
+        assert_eq!(c.get(1), Some("a")); // 1 is now fresher than 2
+        c.insert(3, "c"); // evicts 2
+        assert_eq!(c.get(2), None);
+        assert_eq!(c.get(1), Some("a"));
+        assert_eq!(c.get(3), Some("c"));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_evicting() {
+        let mut c = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.insert(1, 11); // refresh, not a third entry
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(1), Some(11));
+        assert_eq!(c.get(2), Some(20));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = LruCache::new(0);
+        c.insert(1, 1);
+        assert!(c.is_empty());
+        assert_eq!(c.get(1), None);
+    }
+}

@@ -1,0 +1,112 @@
+//! Service counters and latency aggregation.
+//!
+//! [`ServiceStats`] is the counter snapshot the determinism suite
+//! compares across worker counts: every field is a logical count, no
+//! timing. Latency samples are kept separately and summarized into
+//! nearest-rank percentiles by [`LatencySummary`].
+
+/// Monotone counters of a service instance. At quiescence (all tickets
+/// resolved) the counters satisfy
+/// `submitted == completed + shed + rejected` and
+/// `completed == cache_hits + solves + batched`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests offered to [`crate::Service::submit`]/replay.
+    pub submitted: u64,
+    /// Responses delivered (fresh solves, batch joins, and cache hits).
+    pub completed: u64,
+    /// Requests dropped by admission control (bounded queue full).
+    pub shed: u64,
+    /// Requests refused before queueing (unknown scenario, closed
+    /// service).
+    pub rejected: u64,
+    /// Batches actually executed by a worker.
+    pub solves: u64,
+    /// Executed batches whose solver returned an error (the waiters still
+    /// complete, with the error as the response body).
+    pub failed_solves: u64,
+    /// Requests coalesced into an already in-flight batch (the waiters
+    /// beyond the first of each executed batch).
+    pub batched: u64,
+    /// Requests answered from the LRU result cache at admission.
+    pub cache_hits: u64,
+}
+
+/// Nearest-rank latency percentiles over a sample set, milliseconds.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean_ms: f64,
+    /// Median (nearest-rank p50).
+    pub p50_ms: f64,
+    /// Nearest-rank p95.
+    pub p95_ms: f64,
+    /// Nearest-rank p99.
+    pub p99_ms: f64,
+    /// Maximum sample.
+    pub max_ms: f64,
+}
+
+impl LatencySummary {
+    /// Summarizes a sample set (returns all-zero for an empty set).
+    pub fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return LatencySummary::default();
+        }
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let rank = |q: f64| {
+            // Nearest-rank: the ⌈q·n⌉-th smallest sample (1-indexed).
+            let idx = (q * sorted.len() as f64).ceil() as usize;
+            sorted[idx.clamp(1, sorted.len()) - 1]
+        };
+        LatencySummary {
+            count: sorted.len() as u64,
+            mean_ms: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            p50_ms: rank(0.50),
+            p95_ms: rank(0.95),
+            p99_ms: rank(0.99),
+            max_ms: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_zero() {
+        assert_eq!(LatencySummary::from_samples(&[]), LatencySummary::default());
+    }
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let samples: Vec<f64> = (1..=100).map(f64::from).collect();
+        let s = LatencySummary::from_samples(&samples);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50_ms, 50.0);
+        assert_eq!(s.p95_ms, 95.0);
+        assert_eq!(s.p99_ms, 99.0);
+        assert_eq!(s.max_ms, 100.0);
+        assert!((s.mean_ms - 50.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let s = LatencySummary::from_samples(&[7.5]);
+        assert_eq!(
+            (s.p50_ms, s.p95_ms, s.p99_ms, s.max_ms),
+            (7.5, 7.5, 7.5, 7.5)
+        );
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let samples = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let s = LatencySummary::from_samples(&samples);
+        assert!(s.p50_ms <= s.p95_ms && s.p95_ms <= s.p99_ms && s.p99_ms <= s.max_ms);
+    }
+}

@@ -47,6 +47,23 @@ pub fn skewed_sizes(n: usize, k: usize, skew: f64) -> Vec<usize> {
     sizes
 }
 
+/// The partition layout the scenario grid **and** the solve service
+/// prescribe for `k` parts over `n` elements: geometrically skewed when
+/// `skew` is set, near-balanced contiguous otherwise. This is the single
+/// source of truth — `Scenario::partition_sizes` and
+/// `llp_service::exec` both delegate here, which is what makes a served
+/// scenario bit-identical to its report-grid cell.
+pub fn prescribed_sizes(n: usize, k: usize, skew: Option<f64>) -> Vec<usize> {
+    match skew {
+        Some(s) => skewed_sizes(n, k, s),
+        None => {
+            let base = n / k;
+            let extra = n % k;
+            (0..k).map(|i| base + usize::from(i < extra)).collect()
+        }
+    }
+}
+
 /// Splits `data` contiguously into chunks of the given sizes.
 ///
 /// # Panics

@@ -251,14 +251,7 @@ impl Scenario {
     /// point): geometrically skewed when [`Scenario::skew`] is set,
     /// near-balanced contiguous otherwise.
     pub fn partition_sizes(&self, n: usize, k: usize) -> Vec<usize> {
-        match self.skew {
-            Some(s) => partition::skewed_sizes(n, k, s),
-            None => {
-                let base = n / k;
-                let extra = n % k;
-                (0..k).map(|i| base + usize::from(i < extra)).collect()
-            }
-        }
+        partition::prescribed_sizes(n, k, self.skew)
     }
 }
 

@@ -20,6 +20,9 @@
 //! * [`sampling`] — ε-net sizes and weighted-sampling machinery.
 //! * [`par`] — deterministic scoped-thread parallelism (`LLP_THREADS`)
 //!   used by the violation-scan and weight-recomputation hot paths.
+//! * [`service`] — the in-process concurrent solve service: bounded
+//!   admission queue, worker pool, request batching, LRU result cache,
+//!   and per-request latency metering (DESIGN.md §7).
 //! * [`lowerbound`] — Section 5: the two-curve intersection problem, its
 //!   hard distribution, protocols, and the reduction to 2-D LP.
 //! * [`baselines`] — Chan–Chen, classic Clarkson, and naive baselines.
@@ -35,5 +38,6 @@ pub use llp_models as models;
 pub use llp_num as num;
 pub use llp_par as par;
 pub use llp_sampling as sampling;
+pub use llp_service as service;
 pub use llp_solver as solver;
 pub use llp_workloads as workloads;

@@ -6,12 +6,14 @@ use llp_bench::report::{self, Cell, Report};
 use llp_bench::RunBudget;
 use llp_workloads::scenario::{registry, Family};
 
-/// A golden v1 document, written by hand. If a schema change breaks this
-/// parse, bump `report::SCHEMA_VERSION` and regenerate the golden —
-/// silently reinterpreting old trajectory files is the failure mode this
-/// test exists to catch.
-const GOLDEN_V1: &str = r#"{
-  "schema_version": 1,
+/// A golden v2 document, written by hand (v2 added the `service` block —
+/// v1 files no longer parse, by design: the schema version exists so
+/// consumers refuse them loudly). If a schema change breaks this parse,
+/// bump `report::SCHEMA_VERSION` and regenerate the golden — silently
+/// reinterpreting old trajectory files is the failure mode this test
+/// exists to catch.
+const GOLDEN_V2: &str = r#"{
+  "schema_version": 2,
   "label": "golden",
   "budget": "quick",
   "cells": [
@@ -22,12 +24,23 @@ const GOLDEN_V1: &str = r#"{
       "passes": 0, "rounds": 0, "space_bits": 0, "comm_bits": 0,
       "max_round_bits": 0, "load_bits": 0, "total_load_bits": 0, "wall_ms": 12.5
     }
+  ],
+  "service": [
+    {
+      "mix": "hot_key", "workers": 2, "solver_threads": 1,
+      "queue_capacity": 64, "cache_capacity": 256, "waves": 2,
+      "submitted": 400, "completed": 397, "shed": 2, "rejected": 1,
+      "solves": 40, "batched": 149, "cache_hits": 208,
+      "p50_ms": 0.9, "p95_ms": 6.5, "p99_ms": 14.0, "max_ms": 21.25,
+      "mean_ms": 2.125, "queue_p95_ms": 1.5,
+      "throughput_rps": 1990.0, "wall_ms": 200.0
+    }
   ]
 }"#;
 
 #[test]
-fn golden_v1_document_parses() {
-    let r = Report::from_json(GOLDEN_V1).expect("golden must parse");
+fn golden_v2_document_parses() {
+    let r = Report::from_json(GOLDEN_V2).expect("golden must parse");
     assert_eq!(r.schema_version, report::SCHEMA_VERSION);
     assert_eq!(r.label, "golden");
     assert_eq!(r.budget, "quick");
@@ -38,6 +51,23 @@ fn golden_v1_document_parses() {
     assert_eq!(c.n, 3750);
     assert!((c.objective - -1.0000517).abs() < 1e-12);
     assert_eq!(c.violations, 0);
+    assert_eq!(r.service.len(), 1);
+    let s = &r.service[0];
+    assert_eq!(s.mix, "hot_key");
+    assert_eq!(s.completed + s.shed + s.rejected, s.submitted);
+    assert_eq!(s.cache_hits + s.solves + s.batched, s.completed);
+    assert!((s.max_ms - 21.25).abs() < 1e-12);
+}
+
+#[test]
+fn golden_v1_documents_are_refused() {
+    // A v1-era document: no `service` block, version 1. Both the parse
+    // (missing field) and any forced validate must fail — old trajectory
+    // files cannot be silently reinterpreted as v2.
+    let v1 = GOLDEN_V2
+        .replace("\"schema_version\": 2", "\"schema_version\": 1")
+        .replace("],\n  \"service\"", "],\n  \"service_gone\"");
+    assert!(Report::from_json(&v1).is_err(), "v1 shape must not parse");
 }
 
 #[test]
@@ -83,6 +113,29 @@ fn report_serialize_parse_compare_is_lossless() {
         label: "röund-trip \"quotes\" and\nnewlines".to_string(),
         budget: "full".to_string(),
         cells,
+        service: vec![report::ServiceCell {
+            mix: "heavy_tail".to_string(),
+            workers: 4,
+            solver_threads: 2,
+            queue_capacity: 8,
+            cache_capacity: 128,
+            waves: 2,
+            submitted: 4000,
+            completed: 3990,
+            shed: 8,
+            rejected: 2,
+            solves: 44,
+            batched: 1946,
+            cache_hits: 2000,
+            p50_ms: 0.1 + 0.2, // awkward float on purpose
+            p95_ms: 6.5,
+            p99_ms: 14.0,
+            max_ms: 1.0e3,
+            mean_ms: f64::MIN_POSITIVE,
+            queue_p95_ms: 0.5,
+            throughput_rps: 123_456.789,
+            wall_ms: 2048.0,
+        }],
     };
     let json = report.to_json();
     let parsed = Report::from_json(&json).expect("round-trip parse");
@@ -93,7 +146,7 @@ fn report_serialize_parse_compare_is_lossless() {
 
 #[test]
 fn truncated_and_mistyped_documents_are_rejected() {
-    let good = Report::from_json(GOLDEN_V1).unwrap().to_json();
+    let good = Report::from_json(GOLDEN_V2).unwrap().to_json();
     assert!(Report::from_json(&good[..good.len() - 2]).is_err());
     assert!(Report::from_json("{}").is_err(), "missing fields");
     assert!(Report::from_json(&good.replace("\"cells\"", "\"cell\"")).is_err());
