@@ -1,0 +1,411 @@
+//! A hand-rolled Rust lexer for the lint passes.
+//!
+//! Same vendored-from-scratch spirit as `vendor/serde_derive`'s
+//! proc-macro parser: no `syn`, no `proc_macro2` — just enough of the
+//! Rust lexical grammar to walk this workspace's own sources reliably.
+//! The token stream is flat (delimiters are ordinary punctuation tokens);
+//! the lint passes track brace depth themselves where they need scope.
+//!
+//! What must be exactly right for the lints to be trustworthy:
+//!
+//! * **Strings never produce identifier tokens** — a help text mentioning
+//!   `LLP_THREADS` or a lint pattern written as `"HashMap"` (this crate's
+//!   own source!) must not fire anything. Ordinary, raw (`r#"…"#`), byte,
+//!   and byte-raw strings are all consumed as single [`TokKind::Str`]
+//!   tokens.
+//! * **Comments are captured, not skipped** — the allow-annotation
+//!   grammar (`// llp-analyzer: allow(<lint>) -- <reason>`) lives in line
+//!   comments, so the lexer returns them alongside the tokens. Block
+//!   comments nest, as in real Rust.
+//! * **Lifetimes are not char literals** — `'a` must not swallow the
+//!   rest of the file looking for a closing quote.
+//! * **`::` is one token** — the lint patterns are path-shaped
+//!   (`Instant::now`, `env::var`), so the lexer fuses the two colons.
+
+/// What a token is, as far as the lints care.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Punctuation; `::` is fused into a single token.
+    Punct,
+    /// Numeric literal (loosely consumed — lints never inspect digits).
+    Num,
+    /// String literal of any flavor (ordinary/raw/byte), escapes resolved
+    /// lexically only (the text is the raw source slice).
+    Str,
+    /// Character literal.
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Token classification.
+    pub kind: TokKind,
+    /// Source text of the token (for `Punct`, the operator itself).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// One `//` line comment (doc comments included) with its 1-based line.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// Comment text including the leading `//`.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+}
+
+/// The lexed form of one source file.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub toks: Vec<Tok>,
+    /// All `//` comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes one file. Total: every byte is consumed; malformed input (an
+/// unterminated string, say) ends the current token at end-of-file rather
+/// than panicking — the analyzer must never take the CI gate down with it.
+pub fn lex(src: &str) -> Lexed {
+    let mut out = Lexed::default();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let n = chars.len();
+
+    macro_rules! bump_line {
+        ($c:expr) => {
+            if $c == '\n' {
+                line += 1;
+            }
+        };
+    }
+
+    while i < n {
+        let c = chars[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            bump_line!(c);
+            i += 1;
+            continue;
+        }
+        // Line comment (incl. `///`, `//!`).
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            let start_line = line;
+            let mut text = String::new();
+            while i < n && chars[i] != '\n' {
+                text.push(chars[i]);
+                i += 1;
+            }
+            out.comments.push(Comment {
+                text,
+                line: start_line,
+            });
+            continue;
+        }
+        // Block comment, nesting.
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            i += 2;
+            let mut depth = 1usize;
+            while i < n && depth > 0 {
+                if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    bump_line!(chars[i]);
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw / byte / byte-raw string prefixes: r" r#" b" br#" …
+        if (c == 'r' || c == 'b') && i + 1 < n {
+            let (prefix_len, raw) = raw_string_prefix(&chars[i..]);
+            if prefix_len > 0 {
+                let start_line = line;
+                let mut j = i + prefix_len; // positioned just past the opening quote
+                let hashes = chars[i..i + prefix_len]
+                    .iter()
+                    .filter(|&&h| h == '#')
+                    .count();
+                let mut text = String::new();
+                if raw {
+                    // Scan to `"` followed by `hashes` `#`s; no escapes.
+                    while j < n {
+                        if chars[j] == '"'
+                            && chars[j + 1..]
+                                .iter()
+                                .take(hashes)
+                                .filter(|&&h| h == '#')
+                                .count()
+                                == hashes
+                        {
+                            j += 1 + hashes;
+                            break;
+                        }
+                        bump_line!(chars[j]);
+                        text.push(chars[j]);
+                        j += 1;
+                    }
+                } else {
+                    // b"…" with ordinary escapes.
+                    while j < n {
+                        if chars[j] == '\\' && j + 1 < n {
+                            text.push(chars[j + 1]);
+                            j += 2;
+                            continue;
+                        }
+                        if chars[j] == '"' {
+                            j += 1;
+                            break;
+                        }
+                        bump_line!(chars[j]);
+                        text.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Str,
+                    text,
+                    line: start_line,
+                });
+                i = j;
+                continue;
+            }
+        }
+        // Ordinary string.
+        if c == '"' {
+            let start_line = line;
+            let mut j = i + 1;
+            let mut text = String::new();
+            while j < n {
+                if chars[j] == '\\' && j + 1 < n {
+                    text.push(chars[j + 1]);
+                    j += 2;
+                    continue;
+                }
+                if chars[j] == '"' {
+                    j += 1;
+                    break;
+                }
+                bump_line!(chars[j]);
+                text.push(chars[j]);
+                j += 1;
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Str,
+                text,
+                line: start_line,
+            });
+            i = j;
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            // `'\…'` or `'x'` → char; `'ident` not followed by `'` → lifetime.
+            if i + 1 < n && chars[i + 1] == '\\' {
+                // Escaped char literal: consume to closing quote.
+                let mut j = i + 2;
+                while j < n && chars[j] != '\'' {
+                    j += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Char,
+                    text: chars[i..(j + 1).min(n)].iter().collect(),
+                    line,
+                });
+                i = (j + 1).min(n);
+                continue;
+            }
+            if i + 2 < n && chars[i + 2] == '\'' {
+                out.toks.push(Tok {
+                    kind: TokKind::Char,
+                    text: chars[i..i + 3].iter().collect(),
+                    line,
+                });
+                i += 3;
+                continue;
+            }
+            // Lifetime: 'ident (or a stray quote — consume one char).
+            let mut j = i + 1;
+            while j < n && is_ident_continue(chars[j]) {
+                j += 1;
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Lifetime,
+                text: chars[i..j].iter().collect(),
+                line,
+            });
+            i = j.max(i + 1);
+            continue;
+        }
+        // Identifier / keyword.
+        if is_ident_start(c) {
+            let mut j = i + 1;
+            while j < n && is_ident_continue(chars[j]) {
+                j += 1;
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Ident,
+                text: chars[i..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Number: digits plus the alphanumeric/underscore/dot tail
+        // (`1_000u64`, `1.5e3`). The lints never look inside numbers, so
+        // a split exponent sign (`1e-7` → `1e`, `-`, `7`) is harmless.
+        if c.is_ascii_digit() {
+            let mut j = i + 1;
+            while j < n && (is_ident_continue(chars[j]) || chars[j] == '.') {
+                j += 1;
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Num,
+                text: chars[i..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Punctuation; fuse `::` so lint patterns are path-shaped.
+        if c == ':' && i + 1 < n && chars[i + 1] == ':' {
+            out.toks.push(Tok {
+                kind: TokKind::Punct,
+                text: "::".to_string(),
+                line,
+            });
+            i += 2;
+            continue;
+        }
+        out.toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+/// Detects a raw/byte string prefix at `chars[0..]`. Returns
+/// `(length_through_opening_quote, is_raw)`; `(0, _)` if none.
+fn raw_string_prefix(chars: &[char]) -> (usize, bool) {
+    let mut j = 0usize;
+    let mut raw = false;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) == Some(&'r') {
+        raw = true;
+        j += 1;
+    }
+    if j == 0 {
+        return (0, false);
+    }
+    if raw {
+        while chars.get(j) == Some(&'#') {
+            j += 1;
+        }
+    }
+    if chars.get(j) == Some(&'"') {
+        (j + 1, raw)
+    } else {
+        (0, false)
+    }
+}
+
+/// True when `toks[i..]` matches `pattern` (idents and puncts compared by
+/// text; the pattern never contains strings or numbers).
+pub fn matches_seq(toks: &[Tok], i: usize, pattern: &[&str]) -> bool {
+    pattern
+        .iter()
+        .enumerate()
+        .all(|(k, p)| toks.get(i + k).is_some_and(|t| t.text == *p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_identifiers() {
+        let src = r##"let x = "HashMap::new"; let y = r#"Instant::now"#; let z = b"env";"##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()), "{ids:?}");
+        assert!(!ids.contains(&"Instant".to_string()), "{ids:?}");
+        assert_eq!(ids, vec!["let", "x", "let", "y", "let", "z"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<_> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .collect();
+        assert_eq!(chars.len(), 1);
+        assert_eq!(chars[0].text, "'x'");
+    }
+
+    #[test]
+    fn escaped_char_and_nested_block_comment() {
+        let lexed = lex("let nl = '\\n'; /* outer /* inner */ still */ let t = 1;");
+        let ids = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .count();
+        assert_eq!(ids, 4); // let nl let t
+    }
+
+    #[test]
+    fn line_numbers_and_comments() {
+        let lexed = lex("a\n// llp-analyzer: allow(x) -- y\nb\n");
+        assert_eq!(lexed.toks[0].line, 1);
+        assert_eq!(lexed.toks[1].line, 3);
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].line, 2);
+        assert!(lexed.comments[0].text.starts_with("// llp-analyzer"));
+    }
+
+    #[test]
+    fn double_colon_is_fused() {
+        let lexed = lex("std::time::Instant::now()");
+        assert!(matches_seq(&lexed.toks, 4, &["Instant", "::", "now"]));
+    }
+}

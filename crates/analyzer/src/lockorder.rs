@@ -1,0 +1,531 @@
+//! Static lock-order analysis: the mutex-acquisition graph of a crate.
+//!
+//! ROADMAP item 4 (sharded admission queues + work-stealing) will
+//! multiply `llp_service`'s lock surface; this pass exists *before* that
+//! refactor so cycles and blocking-while-locked patterns are caught at
+//! lint time, not in a soak run. Three steps:
+//!
+//! 1. **Mutex discovery** — struct fields and `let` bindings of type
+//!    `Mutex<…>` name the lockable objects (`state: Mutex<State>` →
+//!    mutex `state`).
+//! 2. **Per-function acquisition scan** — a guard model tracks what is
+//!    held where: `let g = foo.lock()` holds `foo` until `drop(g)` or the
+//!    end of the binding's block; an unbound `.lock()` (a statement
+//!    temporary) is released at the next `;` at the same depth.
+//!    `Condvar::wait(g)` keeps the guard held (it re-acquires before
+//!    returning). Acquisitions are propagated **one call-graph level**:
+//!    calling a function that itself directly acquires counts as
+//!    acquiring (so `self.lock()` wrappers participate).
+//! 3. **Graph checks** — acquiring B while A is held adds edge A→B.
+//!    A cycle in the edge set (including A→A re-entry, an instant
+//!    deadlock with std's non-reentrant `Mutex`) is a deny finding, as is
+//!    holding any lock across a blocking operation (channel `send`/
+//!    `recv`, `join`, or a solve: `solve*`/`execute` calls).
+
+use crate::lexer::{Lexed, Tok, TokKind};
+use crate::report::{Finding, Severity};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Call-shaped identifiers that block (or are unboundedly expensive) and
+/// must not run under a held lock.
+fn is_blocking_call(name: &str) -> bool {
+    name == "send"
+        || name == "recv"
+        || name == "recv_timeout"
+        || name == "join"
+        || name == "execute"
+        || name.starts_with("solve")
+}
+
+/// Per-function facts from the first pass.
+#[derive(Clone, Debug, Default)]
+struct FnFacts {
+    /// Mutexes the body acquires directly (for one-level propagation).
+    /// A set, not a sequence: a callee that locks, releases, and re-locks
+    /// the same mutex acquires it *once* from the caller's perspective —
+    /// propagated acquisitions edge against the caller's held set, never
+    /// against each other.
+    direct: BTreeSet<String>,
+}
+
+/// A lock currently held during the linear scan of a body.
+#[derive(Clone, Debug)]
+struct Held {
+    mutex: String,
+    /// Guard variable, if the acquisition was `let`-bound.
+    guard: Option<String>,
+    /// Brace depth at the binding; leaving it releases the guard.
+    depth: i32,
+    /// Statement temporary: released at the next `;` at `depth`.
+    temp: bool,
+}
+
+/// Runs the analysis over all files of one crate. `path_of` each file is
+/// used in findings.
+pub fn analyze_crate(files: &[(String, Lexed)]) -> Vec<Finding> {
+    let mut mutexes: BTreeSet<String> = BTreeSet::new();
+    for (_, lexed) in files {
+        discover_mutexes(&lexed.toks, &mut mutexes);
+    }
+    if mutexes.is_empty() {
+        return Vec::new();
+    }
+
+    // Pass 1: per-function direct acquisitions (for call propagation).
+    let mut facts: BTreeMap<String, FnFacts> = BTreeMap::new();
+    for (path, lexed) in files {
+        for (name, body) in functions(&lexed.toks) {
+            let mut f = FnFacts::default();
+            scan_body(path, body, &mutexes, &BTreeMap::new(), Some(&mut f), None);
+            facts.entry(name).or_insert(f);
+        }
+    }
+
+    // Pass 2: full scan with one-level propagation; collect edges and
+    // blocking-while-held findings.
+    let mut findings = Vec::new();
+    let mut edges: BTreeMap<(String, String), (String, u32)> = BTreeMap::new();
+    for (path, lexed) in files {
+        for (_, body) in functions(&lexed.toks) {
+            scan_body(
+                path,
+                body,
+                &mutexes,
+                &facts,
+                None,
+                Some((&mut edges, &mut findings)),
+            );
+        }
+    }
+
+    // Cycle detection over the acquisition-order graph.
+    findings.extend(find_cycles(&edges));
+    findings
+}
+
+/// Collects mutex names: `name : Mutex <` fields/params and
+/// `let name = Mutex :: new` bindings.
+fn discover_mutexes(toks: &[Tok], out: &mut BTreeSet<String>) {
+    for i in 0..toks.len() {
+        if toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        if toks[i].text == "Mutex" {
+            // `name: Mutex<…>` (struct field or param).
+            if i >= 2 && toks[i - 1].text == ":" && toks[i - 2].kind == TokKind::Ident {
+                out.insert(toks[i - 2].text.clone());
+            }
+            // `let name = Mutex::new(…)` / `let name = Arc::new(Mutex::new(…))`
+            // — walk back past `Arc :: new (` to the `let`.
+            let mut j = i;
+            while j >= 1
+                && (toks[j - 1].kind == TokKind::Punct
+                    || toks[j - 1].text == "Arc"
+                    || toks[j - 1].text == "new")
+                && toks[j - 1].text != ";"
+                && toks[j - 1].text != "{"
+            {
+                j -= 1;
+            }
+            let plain_let =
+                j >= 2 && toks[j - 1].kind == TokKind::Ident && toks[j - 2].text == "let";
+            let mut_let = j >= 3
+                && toks[j - 1].kind == TokKind::Ident
+                && toks[j - 2].text == "mut"
+                && toks[j - 3].text == "let";
+            if plain_let || mut_let {
+                out.insert(toks[j - 1].text.clone());
+            }
+        }
+    }
+}
+
+/// Splits a token stream into `fn` bodies: returns `(name, body_tokens)`
+/// for every function, where `body_tokens` is the token slice between the
+/// body's outer braces (inclusive of nested ones).
+fn functions(toks: &[Tok]) -> Vec<(String, &[Tok])> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].kind == TokKind::Ident && toks[i].text == "fn" {
+            if let Some(name_tok) = toks.get(i + 1) {
+                let name = name_tok.text.clone();
+                // Find the body `{` — skip the signature (param parens,
+                // return type, where clause) by scanning for the first
+                // `{` at angle/paren depth 0. `;` first → trait method
+                // declaration, no body.
+                let mut j = i + 2;
+                let mut paren: i32 = 0;
+                let mut body_start = None;
+                while j < toks.len() {
+                    match toks[j].text.as_str() {
+                        "(" | "[" => paren += 1,
+                        ")" | "]" => paren -= 1,
+                        "{" if paren == 0 => {
+                            body_start = Some(j);
+                            break;
+                        }
+                        ";" if paren == 0 => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if let Some(start) = body_start {
+                    let mut depth = 0i32;
+                    let mut k = start;
+                    while k < toks.len() {
+                        match toks[k].text.as_str() {
+                            "{" => depth += 1,
+                            "}" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    out.push((name, &toks[start..(k + 1).min(toks.len())]));
+                    i = k + 1;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+type EdgeSink<'a> = (
+    &'a mut BTreeMap<(String, String), (String, u32)>,
+    &'a mut Vec<Finding>,
+);
+
+/// Linear scan of one function body with the guard model. In pass 1
+/// (`collect` = Some) it only records direct acquisitions; in pass 2
+/// (`sink` = Some) it also consults `facts` for one-level call
+/// propagation, emits hold-order edges, and flags blocking calls made
+/// while holding.
+fn scan_body(
+    path: &str,
+    body: &[Tok],
+    mutexes: &BTreeSet<String>,
+    facts: &BTreeMap<String, FnFacts>,
+    mut collect: Option<&mut FnFacts>,
+    mut sink: Option<EdgeSink<'_>>,
+) {
+    let mut depth: i32 = 0;
+    let mut held: Vec<Held> = Vec::new();
+    let mut i = 0usize;
+    while i < body.len() {
+        let t = &body[i];
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Punct, "{") => depth += 1,
+            (TokKind::Punct, "}") => {
+                depth -= 1;
+                held.retain(|h| h.depth <= depth);
+            }
+            (TokKind::Punct, ";") => {
+                held.retain(|h| !(h.temp && h.depth == depth));
+            }
+            // `drop(g)` releases guard g.
+            (TokKind::Ident, "drop") if body.get(i + 1).is_some_and(|n| n.text == "(") => {
+                if let Some(g) = body.get(i + 2) {
+                    held.retain(|h| h.guard.as_deref() != Some(g.text.as_str()));
+                }
+            }
+            (TokKind::Ident, name) => {
+                let is_call = body.get(i + 1).is_some_and(|n| n.text == "(");
+                if !is_call {
+                    i += 1;
+                    continue;
+                }
+                // `cond.wait(g)` keeps g held (re-acquired on return) —
+                // the canonical pattern, never a finding.
+                if name == "wait" || name == "wait_while" || name == "wait_timeout" {
+                    i += 1;
+                    continue;
+                }
+                // `recv.lock()` — a direct acquisition when the
+                // receiver's last path segment is a known mutex.
+                if name == "lock"
+                    && i >= 2
+                    && body[i - 1].text == "."
+                    && mutexes.contains(body[i - 2].text.as_str())
+                {
+                    let mutex = body[i - 2].text.clone();
+                    acquire(
+                        path,
+                        body,
+                        i,
+                        depth,
+                        &mutex,
+                        &mut held,
+                        &mut collect,
+                        &mut sink,
+                    );
+                    i += 1;
+                    continue;
+                }
+                if !held.is_empty() && is_blocking_call(name) {
+                    if let Some((_, findings)) = sink.as_mut() {
+                        let held_names: Vec<&str> = held.iter().map(|h| h.mutex.as_str()).collect();
+                        findings.push(Finding::new(
+                            "lock-order",
+                            Severity::Deny,
+                            path,
+                            t.line,
+                            format!(
+                                "blocking call `{name}(…)` while holding lock(s) \
+                                 {held_names:?}; release the guard first (or allow \
+                                 with the reason the call cannot block)"
+                            ),
+                        ));
+                    }
+                }
+                // One-level call propagation: a direct call to a crate
+                // function (incl. `self.lock()`-style wrappers) that
+                // itself acquires.
+                if sink.is_some() {
+                    if let Some(f) = facts.get(name) {
+                        for acq in f.direct.clone() {
+                            acquire(
+                                path,
+                                body,
+                                i,
+                                depth,
+                                &acq,
+                                &mut held,
+                                &mut collect,
+                                &mut sink,
+                            );
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// Records one acquisition at token index `i`: emits hold-order edges
+/// against everything currently held, then pushes the new guard
+/// (let-bound or statement-temporary, per the surrounding tokens).
+#[allow(clippy::too_many_arguments)]
+fn acquire(
+    path: &str,
+    body: &[Tok],
+    i: usize,
+    depth: i32,
+    mutex: &str,
+    held: &mut Vec<Held>,
+    collect: &mut Option<&mut FnFacts>,
+    sink: &mut Option<EdgeSink<'_>>,
+) {
+    let line = body[i].line;
+    if let Some(f) = collect.as_mut() {
+        f.direct.insert(mutex.to_string());
+    }
+    if let Some((edges, findings)) = sink.as_mut() {
+        for h in held.iter() {
+            if h.mutex == mutex {
+                findings.push(Finding::new(
+                    "lock-order",
+                    Severity::Deny,
+                    path,
+                    line,
+                    format!(
+                        "re-acquiring `{mutex}` while already held: std::sync::Mutex \
+                         is non-reentrant; this deadlocks"
+                    ),
+                ));
+            } else {
+                edges
+                    .entry((h.mutex.clone(), mutex.to_string()))
+                    .or_insert_with(|| (path.to_string(), line));
+            }
+        }
+    }
+    // Binding shape: walk back from the receiver to the statement start;
+    // `let [mut] g = …` binds guard g.
+    let guard = guard_binding(body, i);
+    let temp = guard.is_none();
+    held.push(Held {
+        mutex: mutex.to_string(),
+        guard,
+        depth,
+        temp,
+    });
+}
+
+/// Finds the `let [mut] g =` binding a `.lock()` at token `i` flows into,
+/// scanning back to the start of the statement.
+fn guard_binding(body: &[Tok], i: usize) -> Option<String> {
+    let mut j = i;
+    while j > 0 {
+        let t = &body[j - 1];
+        if t.text == ";" || t.text == "{" || t.text == "}" {
+            return None;
+        }
+        if t.text == "let" {
+            // `let g = …` or `let mut g = …` or `let (a, b) = …` (a
+            // destructuring bind — treat the tuple as unnamed: temp).
+            let g = body.get(j).filter(|t| t.kind == TokKind::Ident)?;
+            if g.text == "mut" {
+                return body.get(j + 1).map(|t| t.text.clone());
+            }
+            return Some(g.text.clone());
+        }
+        j -= 1;
+    }
+    None
+}
+
+/// DFS cycle detection over the acquisition-order edges; each cycle is
+/// reported once, anchored at its lexicographically first node.
+fn find_cycles(edges: &BTreeMap<(String, String), (String, u32)>) -> Vec<Finding> {
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (a, b) in edges.keys() {
+        adj.entry(a.as_str()).or_default().push(b.as_str());
+    }
+    let mut findings = Vec::new();
+    let nodes: Vec<&str> = adj.keys().copied().collect();
+    for &start in &nodes {
+        // Find a path start → … → start.
+        let mut stack = vec![(start, vec![start])];
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        while let Some((node, trail)) = stack.pop() {
+            for &next in adj.get(node).into_iter().flatten() {
+                if next == start {
+                    // Report only at the cycle's smallest node, so each
+                    // cycle appears once.
+                    if trail.iter().all(|n| *n >= start) {
+                        let (path, line) = &edges[&(node.to_string(), next.to_string())];
+                        let mut cycle = trail.clone();
+                        cycle.push(start);
+                        findings.push(Finding::new(
+                            "lock-order",
+                            Severity::Deny,
+                            path,
+                            *line,
+                            format!(
+                                "lock-order cycle {}: some interleaving deadlocks; \
+                                 impose one global acquisition order",
+                                cycle.join(" -> ")
+                            ),
+                        ));
+                    }
+                } else if seen.insert(next) {
+                    let mut t = trail.clone();
+                    t.push(next);
+                    stack.push((next, t));
+                }
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> Vec<Finding> {
+        analyze_crate(&[("crates/x/src/lib.rs".to_string(), lex(src))])
+    }
+
+    #[test]
+    fn opposite_order_is_a_cycle() {
+        let src = "
+            struct S { a: Mutex<u32>, b: Mutex<u32> }
+            fn f(s: &S) { let ga = s.a.lock(); let gb = s.b.lock(); }
+            fn g(s: &S) { let gb = s.b.lock(); let ga = s.a.lock(); }
+        ";
+        let f = run(src);
+        assert!(
+            f.iter()
+                .any(|x| x.lint == "lock-order" && x.message.contains("cycle")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let src = "
+            struct S { a: Mutex<u32>, b: Mutex<u32> }
+            fn f(s: &S) { let ga = s.a.lock(); let gb = s.b.lock(); }
+            fn g(s: &S) { let ga = s.a.lock(); let gb = s.b.lock(); }
+        ";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn send_under_lock_is_flagged_and_scoped_release_is_not() {
+        let src = "
+            struct S { state: Mutex<u32> }
+            fn bad(s: &S, tx: &Sender<u32>) { let g = s.state.lock(); tx.send(1); }
+            fn good(s: &S, tx: &Sender<u32>) { { let g = s.state.lock(); } tx.send(1); }
+        ";
+        let f = run(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("send"));
+    }
+
+    #[test]
+    fn drop_releases_and_temp_guards_end_at_statement() {
+        let src = "
+            struct S { state: Mutex<u32> }
+            fn f(s: &S, tx: &Sender<u32>) { let g = s.state.lock(); drop(g); tx.send(1); }
+            fn h(s: &S, tx: &Sender<u32>) { s.state.lock().x = 1; tx.send(1); }
+        ";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn wrapper_fn_propagates_one_level() {
+        let src = "
+            struct S { state: Mutex<u32> }
+            fn lock_state(s: &S) -> MutexGuard<u32> { s.state.lock() }
+            fn f(s: &S, tx: &Sender<u32>) { let g = lock_state(s); tx.send(1); }
+        ";
+        let f = run(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("state"), "{f:?}");
+    }
+
+    #[test]
+    fn solve_under_lock_is_flagged() {
+        let src = "
+            struct S { state: Mutex<u32> }
+            fn f(s: &S) { let g = s.state.lock(); let r = solve_model(); }
+        ";
+        let f = run(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("solve_model"));
+    }
+
+    #[test]
+    fn sequential_reacquire_in_callee_does_not_poison_callers() {
+        // The callee locks, releases (block close), and locks again —
+        // that is two acquisitions in sequence, not a nested re-entry,
+        // so calling it must not report a deadlock.
+        let src = "
+            struct S { state: Mutex<u32> }
+            fn worker(s: &S) { { let g = s.state.lock(); } let g2 = s.state.lock(); }
+            fn spawn_it(s: &S) { worker(s); }
+        ";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn condvar_wait_keeps_guard_without_finding() {
+        let src = "
+            struct S { state: Mutex<u32>, cond: Condvar }
+            fn f(s: &S) { let mut g = s.state.lock(); g = s.cond.wait(g); }
+        ";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+}

@@ -1,0 +1,102 @@
+#![forbid(unsafe_code)]
+//! `llp-analyzer` — the CLI over [`llp_analyzer`].
+//!
+//! ```text
+//! cargo run -p llp_analyzer -- --check            # CI gate: exit 1 on deny findings
+//! cargo run -p llp_analyzer -- --out ANALYZER.json
+//! cargo run -p llp_analyzer -- --root /path/to/ws --check --out ANALYZER.json
+//! ```
+//!
+//! Human-readable findings go to stdout; the machine-readable report
+//! (`report::AnalyzerReport`) is written to `--out` via the vendored
+//! serde. Exit codes: 0 clean (warn findings permitted), 1 deny findings
+//! present (`--check`), 2 usage error.
+
+use llp_analyzer::analyze_workspace;
+use llp_analyzer::policy::find_workspace_root;
+use serde::Serialize;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut check = false;
+    let mut out: Option<PathBuf> = None;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--out" => match args.next() {
+                Some(p) => out = Some(PathBuf::from(p)),
+                None => return usage("--out needs a path"),
+            },
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage("--root needs a path"),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "llp-analyzer: workspace determinism-and-invariant lints\n\
+                     \n\
+                     USAGE: llp-analyzer [--check] [--out FILE] [--root DIR]\n\
+                     \n\
+                     --check   exit 1 when any deny-tier finding survives\n\
+                     --out     write the ANALYZER.json report to FILE\n\
+                     --root    workspace root (default: walk up from cwd)"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown flag {other:?}")),
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => match find_workspace_root(&PathBuf::from(".")) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+
+    let analysis = match analyze_workspace(&root) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let r = &analysis.report;
+
+    for f in &r.findings {
+        println!(
+            "{}:{}: [{}] {}: {}",
+            f.path, f.line, f.severity, f.lint, f.message
+        );
+    }
+    println!(
+        "llp-analyzer: {} files, {} deny, {} warn, {} suppressed by reasoned allows",
+        r.files_scanned, r.deny, r.warn, r.suppressed
+    );
+
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(&path, r.to_json()) {
+            eprintln!("error: write {path:?}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("llp-analyzer: report written to {}", path.display());
+    }
+
+    if check && r.deny > 0 {
+        eprintln!("llp-analyzer: --check failed ({} deny finding(s))", r.deny);
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("error: {msg} (try --help)");
+    ExitCode::from(2)
+}

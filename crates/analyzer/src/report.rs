@@ -1,0 +1,134 @@
+//! Findings and the machine-readable `ANALYZER.json` report.
+//!
+//! Same pattern as `llp_bench::report`: plain named-field structs
+//! serialized through the vendored serde derive, shortest-round-trip
+//! floats (none here — lines are integers), and a `validate`-style
+//! consumer (`--check`) that refuses what it does not understand.
+
+use serde::{Deserialize, Serialize};
+
+/// Bumped whenever a [`Finding`]/[`AnalyzerReport`] field changes
+/// meaning; consumers refuse unknown versions.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Finding severity tier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Fails `--check` (exit 1) — the CI gate.
+    Deny,
+    /// Reported and serialized, never fails the gate.
+    Warn,
+}
+
+impl Severity {
+    /// Wire name (`"deny"` / `"warn"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Deny => "deny",
+            Severity::Warn => "warn",
+        }
+    }
+}
+
+/// One lint finding at a source location.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Finding {
+    /// Lint name (kebab-case, the allow-annotation key).
+    pub lint: String,
+    /// `"deny"` or `"warn"`.
+    pub severity: String,
+    /// Workspace-relative path of the file.
+    pub path: String,
+    /// 1-based source line.
+    pub line: u64,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl Finding {
+    /// Builds a finding; `severity` travels as its wire name.
+    pub fn new(
+        lint: &str,
+        severity: Severity,
+        path: &str,
+        line: u32,
+        message: impl Into<String>,
+    ) -> Self {
+        Finding {
+            lint: lint.to_string(),
+            severity: severity.name().to_string(),
+            path: path.to_string(),
+            line: u64::from(line),
+            message: message.into(),
+        }
+    }
+
+    /// True for deny-tier findings (the ones `--check` gates on).
+    pub fn is_deny(&self) -> bool {
+        self.severity == "deny"
+    }
+}
+
+/// The whole analysis result, as serialized to `ANALYZER.json`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AnalyzerReport {
+    /// Report schema version ([`SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Files scanned (after fixture/target exclusions).
+    pub files_scanned: u64,
+    /// Deny-tier finding count.
+    pub deny: u64,
+    /// Warn-tier finding count.
+    pub warn: u64,
+    /// Findings suppressed by used allow annotations.
+    pub suppressed: u64,
+    /// All surviving findings, sorted by (path, line, lint).
+    pub findings: Vec<Finding>,
+}
+
+impl AnalyzerReport {
+    /// Assembles a report from surviving findings (sorts them for a
+    /// byte-stable artifact).
+    pub fn new(mut findings: Vec<Finding>, files_scanned: u64, suppressed: u64) -> Self {
+        findings.sort_by(|a, b| {
+            (a.path.as_str(), a.line, a.lint.as_str()).cmp(&(
+                b.path.as_str(),
+                b.line,
+                b.lint.as_str(),
+            ))
+        });
+        let deny = findings.iter().filter(|f| f.is_deny()).count() as u64;
+        let warn = findings.len() as u64 - deny;
+        AnalyzerReport {
+            schema_version: SCHEMA_VERSION,
+            files_scanned,
+            deny,
+            warn,
+            suppressed,
+            findings,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let r = AnalyzerReport::new(
+            vec![
+                Finding::new("wall-clock", Severity::Deny, "b.rs", 7, "clock read"),
+                Finding::new("hot-loop-alloc", Severity::Warn, "a.rs", 3, "alloc in loop"),
+            ],
+            2,
+            1,
+        );
+        assert_eq!(r.deny, 1);
+        assert_eq!(r.warn, 1);
+        // Sorted by path first.
+        assert_eq!(r.findings[0].path, "a.rs");
+        let back = AnalyzerReport::from_json(&r.to_json()).expect("roundtrip");
+        assert_eq!(back, r);
+    }
+}

@@ -1,0 +1,10 @@
+// Fixture: the ordered twin — BTreeMap iteration order depends only on keys.
+use std::collections::BTreeMap;
+
+fn tally(xs: &[u32]) -> BTreeMap<u32, u32> {
+    let mut counts = BTreeMap::new();
+    for x in xs {
+        *counts.entry(*x).or_insert(0) += 1;
+    }
+    counts
+}

@@ -1,0 +1,6 @@
+// Fixture: configuration as an explicit argument — no ambient input.
+// Mentioning "LLP_THREADS" in a string (as help text does) is inert.
+fn threads(requested: Option<usize>) -> usize {
+    let _help = "set LLP_THREADS via llp_par, not std::env::var";
+    requested.unwrap_or(1)
+}

@@ -1,0 +1,7 @@
+// Fixture: ambient configuration outside vendor/llp_par → env-read.
+fn threads() -> usize {
+    std::env::var("LLP_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}

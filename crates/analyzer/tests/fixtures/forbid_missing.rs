@@ -1,0 +1,7 @@
+//! Fixture: a crate root without `#![forbid(unsafe_code)]` →
+//! missing-forbid-unsafe. The doc comment mentioning the attribute
+//! must not satisfy the token-shaped check.
+
+pub fn answer() -> u32 {
+    42
+}

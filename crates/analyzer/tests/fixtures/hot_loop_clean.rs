@@ -1,0 +1,16 @@
+// Fixture: the hoisted twin — one scratch buffer reused across
+// iterations; the loop body only borrows.
+fn violation_scan(rows: &[Vec<f64>], x: &[f64]) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut dot: f64 = 0.0;
+    for (i, row) in rows.iter().enumerate() {
+        dot = 0.0;
+        for (a, b) in row.iter().zip(x) {
+            dot += a * b;
+        }
+        if dot < 0.0 {
+            out.push(i);
+        }
+    }
+    out
+}

@@ -1,0 +1,13 @@
+// Fixture: a channel send while holding a guard → lock-order
+// (blocking call under a lock).
+use std::sync::mpsc::Sender;
+use std::sync::Mutex;
+
+struct Shared {
+    state: Mutex<u64>,
+}
+
+fn publish(s: &Shared, tx: &Sender<u64>) {
+    let g = s.state.lock().unwrap();
+    tx.send(*g).unwrap();
+}

@@ -1,0 +1,26 @@
+// Fixture: the same two mutexes, but every path honors alpha-before-beta
+// and nothing blocking runs under a guard — clean.
+use std::sync::Mutex;
+
+struct Shared {
+    alpha: Mutex<u64>,
+    beta: Mutex<u64>,
+}
+
+fn forward(s: &Shared) {
+    let a = s.alpha.lock().unwrap();
+    let b = s.beta.lock().unwrap();
+    drop(b);
+    drop(a);
+}
+
+fn also_forward(s: &Shared) {
+    {
+        let a = s.alpha.lock().unwrap();
+        let b = s.beta.lock().unwrap();
+        drop(b);
+        drop(a);
+    }
+    let a2 = s.alpha.lock().unwrap();
+    drop(a2);
+}

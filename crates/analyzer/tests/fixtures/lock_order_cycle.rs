@@ -1,0 +1,22 @@
+// Fixture: two mutexes acquired in opposite orders in two call paths —
+// the classic AB/BA deadlock shape → lock-order (cycle).
+use std::sync::Mutex;
+
+struct Shared {
+    alpha: Mutex<u64>,
+    beta: Mutex<u64>,
+}
+
+fn forward(s: &Shared) {
+    let a = s.alpha.lock().unwrap();
+    let b = s.beta.lock().unwrap();
+    drop(b);
+    drop(a);
+}
+
+fn backward(s: &Shared) {
+    let b = s.beta.lock().unwrap();
+    let a = s.alpha.lock().unwrap();
+    drop(a);
+    drop(b);
+}

@@ -1,0 +1,9 @@
+// Fixture: a live, reasoned suppression — the wall-clock finding on the
+// covered line is swallowed and counted as suppressed, not surfaced.
+use std::time::Instant;
+
+fn meter() -> u128 {
+    // llp-analyzer: allow(wall-clock) -- metering is this fixture's purpose
+    let start = Instant::now();
+    start.elapsed().as_nanos()
+}

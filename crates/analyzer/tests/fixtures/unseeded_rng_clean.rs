@@ -1,0 +1,8 @@
+// Fixture: every RNG flows from an explicit seed argument.
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn stream(seed: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    rng.next_u64()
+}

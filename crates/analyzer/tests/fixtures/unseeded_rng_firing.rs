@@ -1,0 +1,7 @@
+// Fixture: entropy-seeded RNG construction → unseeded-rng.
+use rand::rngs::ThreadRng;
+
+fn jitter() -> u64 {
+    let mut rng = ThreadRng::default();
+    rng.next_u64()
+}

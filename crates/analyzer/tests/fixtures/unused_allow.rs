@@ -1,0 +1,6 @@
+// Fixture: a stale suppression — nothing fires on the covered line, so
+// the allow itself becomes a deny-tier unused-allow finding.
+// llp-analyzer: allow(wall-clock) -- this used to meter a solve here
+fn nothing_to_suppress() -> u32 {
+    7
+}

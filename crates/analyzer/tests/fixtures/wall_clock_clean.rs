@@ -1,0 +1,10 @@
+// Fixture: Duration arithmetic and type imports never read the clock.
+use std::time::{Duration, Instant};
+
+fn budget(iters: u64) -> Duration {
+    Duration::from_millis(iters) + Duration::from_micros(250)
+}
+
+fn later(t: Instant, by: Duration) -> Instant {
+    t + by
+}

@@ -1,0 +1,7 @@
+// Fixture: a clock read → wall-clock. The import alone is inert.
+use std::time::Instant;
+
+fn measure() -> u128 {
+    let start = Instant::now();
+    start.elapsed().as_nanos()
+}

@@ -1,0 +1,255 @@
+//! Fixture-driven lint tests: every lint has at least one firing snippet
+//! and one clean twin under `tests/fixtures/`. The fixtures are lexed,
+//! never compiled — `policy::discover` skips `fixtures/` directories, so
+//! the deliberately-dirty snippets cannot fail the workspace
+//! self-analysis in `self_analysis.rs`.
+
+use llp_analyzer::policy::{Class, CrateSpec, SourceFile};
+use llp_analyzer::{analyze_crates, Analysis};
+use serde::Serialize;
+
+fn run(class: Class, key: &str, path: &str, src: &str, is_root: bool) -> Analysis {
+    analyze_crates(&[CrateSpec {
+        key: key.to_string(),
+        class,
+        files: vec![SourceFile {
+            path: path.to_string(),
+            text: src.to_string(),
+        }],
+        root_files: if is_root {
+            vec![path.to_string()]
+        } else {
+            vec![]
+        },
+    }])
+}
+
+fn lints(a: &Analysis) -> Vec<&str> {
+    a.report.findings.iter().map(|f| f.lint.as_str()).collect()
+}
+
+/// Shorthand: one non-root file in a deterministic crate.
+fn det(src: &str) -> Analysis {
+    run(
+        Class::Deterministic,
+        "core",
+        "crates/core/src/x.rs",
+        src,
+        false,
+    )
+}
+
+#[test]
+fn collections_fire_and_btree_twin_is_clean() {
+    let a = det(include_str!("fixtures/collections_firing.rs"));
+    assert!(a.report.deny > 0);
+    assert!(
+        lints(&a)
+            .iter()
+            .all(|l| *l == "nondeterministic-collections"),
+        "{:?}",
+        lints(&a)
+    );
+
+    let b = det(include_str!("fixtures/collections_clean.rs"));
+    assert!(b.report.findings.is_empty(), "{:?}", b.report.findings);
+}
+
+#[test]
+fn wall_clock_fires_and_duration_twin_is_clean() {
+    let a = det(include_str!("fixtures/wall_clock_firing.rs"));
+    assert_eq!(lints(&a), vec!["wall-clock"]);
+
+    let b = det(include_str!("fixtures/wall_clock_clean.rs"));
+    assert!(b.report.findings.is_empty(), "{:?}", b.report.findings);
+}
+
+#[test]
+fn wall_clock_fires_in_timing_crates_too() {
+    // Timing crates are not exempt — their metering sites must each
+    // carry a reasoned allow instead (see suppression tests below).
+    let a = run(
+        Class::Timing,
+        "service",
+        "crates/service/src/x.rs",
+        include_str!("fixtures/wall_clock_firing.rs"),
+        false,
+    );
+    assert_eq!(lints(&a), vec!["wall-clock"]);
+}
+
+#[test]
+fn env_read_fires_everywhere_but_the_owner() {
+    let src = include_str!("fixtures/env_read_firing.rs");
+    let a = det(src);
+    assert_eq!(lints(&a), vec!["env-read"]);
+
+    // The documented precedence owner is exempt.
+    let owner = run(
+        Class::Deterministic,
+        "llp_par",
+        "vendor/llp_par/src/x.rs",
+        src,
+        false,
+    );
+    assert!(
+        owner.report.findings.is_empty(),
+        "{:?}",
+        owner.report.findings
+    );
+
+    let b = det(include_str!("fixtures/env_read_clean.rs"));
+    assert!(b.report.findings.is_empty(), "{:?}", b.report.findings);
+}
+
+#[test]
+fn unseeded_rng_fires_and_seeded_twin_is_clean() {
+    let a = det(include_str!("fixtures/unseeded_rng_firing.rs"));
+    assert!(!a.report.findings.is_empty());
+    assert!(
+        lints(&a).iter().all(|l| *l == "unseeded-rng"),
+        "{:?}",
+        lints(&a)
+    );
+
+    let b = det(include_str!("fixtures/unseeded_rng_clean.rs"));
+    assert!(b.report.findings.is_empty(), "{:?}", b.report.findings);
+}
+
+#[test]
+fn lock_order_cycle_is_detected() {
+    let a = det(include_str!("fixtures/lock_order_cycle.rs"));
+    assert!(lints(&a).contains(&"lock-order"), "{:?}", a.report.findings);
+    assert!(
+        a.report
+            .findings
+            .iter()
+            .any(|f| f.message.contains("cycle")),
+        "{:?}",
+        a.report.findings
+    );
+
+    let b = det(include_str!("fixtures/lock_order_clean.rs"));
+    assert!(b.report.findings.is_empty(), "{:?}", b.report.findings);
+}
+
+#[test]
+fn blocking_call_under_a_guard_is_detected() {
+    let a = det(include_str!("fixtures/lock_order_blocking.rs"));
+    assert!(lints(&a).contains(&"lock-order"), "{:?}", a.report.findings);
+    assert!(
+        a.report
+            .findings
+            .iter()
+            .any(|f| f.message.contains("blocking")),
+        "{:?}",
+        a.report.findings
+    );
+}
+
+#[test]
+fn hot_loop_alloc_warns_in_kernel_files_only() {
+    let src = include_str!("fixtures/hot_loop_firing.rs");
+    // Under a KERNEL_FILES path: warn-tier findings, zero deny.
+    let a = run(
+        Class::Deterministic,
+        "core",
+        "crates/core/src/lptype.rs",
+        src,
+        false,
+    );
+    assert!(a.report.warn >= 2, "{:?}", a.report.findings);
+    assert_eq!(a.report.deny, 0);
+    assert!(
+        lints(&a).iter().all(|l| *l == "hot-loop-alloc"),
+        "{:?}",
+        lints(&a)
+    );
+
+    // The same source outside the kernel list is not scanned.
+    let elsewhere = det(src);
+    assert!(
+        elsewhere.report.findings.is_empty(),
+        "{:?}",
+        elsewhere.report.findings
+    );
+
+    let b = run(
+        Class::Deterministic,
+        "core",
+        "crates/core/src/lptype.rs",
+        include_str!("fixtures/hot_loop_clean.rs"),
+        false,
+    );
+    assert!(b.report.findings.is_empty(), "{:?}", b.report.findings);
+}
+
+#[test]
+fn crate_roots_must_forbid_unsafe() {
+    let a = run(
+        Class::Deterministic,
+        "core",
+        "crates/core/src/lib.rs",
+        include_str!("fixtures/forbid_missing.rs"),
+        true,
+    );
+    assert_eq!(lints(&a), vec!["missing-forbid-unsafe"]);
+
+    let b = run(
+        Class::Deterministic,
+        "core",
+        "crates/core/src/lib.rs",
+        include_str!("fixtures/forbid_present.rs"),
+        true,
+    );
+    assert!(b.report.findings.is_empty(), "{:?}", b.report.findings);
+
+    // Non-root files are not subject to the root attribute check.
+    let c = det(include_str!("fixtures/forbid_missing.rs"));
+    assert!(c.report.findings.is_empty(), "{:?}", c.report.findings);
+}
+
+#[test]
+fn stale_allow_regresses_to_a_deny_finding() {
+    let a = run(
+        Class::Timing,
+        "service",
+        "crates/service/src/x.rs",
+        include_str!("fixtures/unused_allow.rs"),
+        false,
+    );
+    assert_eq!(lints(&a), vec!["unused-allow"]);
+    assert_eq!(a.report.deny, 1);
+}
+
+#[test]
+fn live_allow_suppresses_and_is_counted() {
+    let a = run(
+        Class::Timing,
+        "service",
+        "crates/service/src/x.rs",
+        include_str!("fixtures/suppressed_allow.rs"),
+        false,
+    );
+    assert!(a.report.findings.is_empty(), "{:?}", a.report.findings);
+    assert_eq!(a.report.suppressed, 1);
+}
+
+#[test]
+fn report_round_trips_through_json() {
+    // The ANALYZER.json surface: serialize a non-trivial report and read
+    // the counts back out of the vendored-serde value tree.
+    let a = det(include_str!("fixtures/collections_firing.rs"));
+    let json = a.report.to_json();
+    let v = serde::json::parse(&json).expect("report JSON parses");
+    match v.get("deny") {
+        Some(serde::json::Value::Num(n)) => assert_eq!(*n as u64, a.report.deny),
+        other => panic!("deny field missing or non-numeric: {other:?}"),
+    }
+    match v.get("findings") {
+        Some(serde::json::Value::Arr(items)) => {
+            assert_eq!(items.len(), a.report.findings.len())
+        }
+        other => panic!("findings field missing or non-array: {other:?}"),
+    }
+}

@@ -1,0 +1,30 @@
+//! Tier-1 gate: the analyzer run over its own workspace must be
+//! deny-clean. This is the same invocation CI's `analyze` job makes via
+//! `cargo run -p llp_analyzer -- --check`, expressed as a test so the
+//! plain `cargo test` tier-1 surface enforces it too.
+
+use llp_analyzer::analyze_workspace;
+use std::path::Path;
+
+#[test]
+fn workspace_is_deny_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let a = analyze_workspace(&root).expect("workspace discovery");
+    let denies: Vec<_> = a.report.findings.iter().filter(|f| f.is_deny()).collect();
+    assert!(
+        denies.is_empty(),
+        "deny-tier findings in the workspace:\n{}",
+        denies
+            .iter()
+            .map(|f| format!("  {}:{}: {}: {}", f.path, f.line, f.lint, f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // Sanity on the discovery surface itself: the whole workspace is in
+    // view (19 crates + facade), not an accidentally-pruned subtree.
+    assert!(
+        a.report.files_scanned >= 90,
+        "only {} files scanned — discovery lost crates",
+        a.report.files_scanned
+    );
+}

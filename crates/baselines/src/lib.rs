@@ -11,6 +11,8 @@
 //!   coordinator algorithms: one pass / one round, but linear space /
 //!   communication.
 
+#![forbid(unsafe_code)]
+
 pub mod chan_chen;
 pub mod clarkson_classic;
 pub mod naive;

@@ -32,6 +32,8 @@
 //!   this mode.
 //! * `--list` prints the registry without running anything.
 
+#![forbid(unsafe_code)]
+
 use llp_bench::report::{self, Report};
 use llp_bench::serve::{self, ServeOptions};
 use llp_bench::RunBudget;
@@ -207,6 +209,7 @@ fn expect_usize(args: &mut impl Iterator<Item = String>, flag: &str) -> usize {
 }
 
 fn unix_timestamp() -> String {
+    // llp-analyzer: allow(wall-clock) -- default report label timestamp only; --label pins it for reproducible runs
     std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs().to_string())

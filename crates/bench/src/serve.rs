@@ -121,6 +121,7 @@ pub fn run_mix(mix: &str, budget: RunBudget, opts: &ServeOptions) -> ServiceCell
         ..ServiceConfig::default()
     });
     let stream = mix_stream(mix, budget, opts.requests);
+    // llp-analyzer: allow(wall-clock) -- load-harness timer behind wall_ms/throughput_rps; bodies and counters stay clock-free
     let start = std::time::Instant::now();
     for _ in 0..opts.waves {
         // Live submission: admission/batching race the workers (that is

@@ -17,6 +17,8 @@
 //!   machine, simulating the coordinator protocol over the `n^δ`-ary
 //!   broadcast / converge-cast trees of \[23\].
 
+#![forbid(unsafe_code)]
+
 pub mod common;
 pub mod coordinator;
 pub mod mpc;

@@ -17,6 +17,8 @@
 //! The model implementations (streaming/coordinator/MPC) live in
 //! `llp-bigdata` and reuse everything here.
 
+#![forbid(unsafe_code)]
+
 pub mod clarkson;
 pub mod instances;
 pub mod lptype;

@@ -8,6 +8,8 @@
 //! constraint (the recursion step of Seidel's algorithm and of the
 //! lexicographic refinement).
 
+#![forbid(unsafe_code)]
+
 pub mod halfspace;
 
 pub use halfspace::{Halfspace, Point};

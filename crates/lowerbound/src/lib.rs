@@ -24,6 +24,8 @@
 //! * [`reduction`] — Figure 1b: TCI as a 2-dimensional LP, solved with
 //!   the exact rational LP solver and rounded back to the crossing index.
 
+#![forbid(unsafe_code)]
+
 pub mod augindex;
 pub mod curves;
 pub mod hard;

@@ -16,6 +16,8 @@
 //!   metering (the model of Section 3.4), plus the `O(1/δ)`-round
 //!   broadcast and converge-cast trees of \[23\].
 
+#![forbid(unsafe_code)]
+
 pub mod coordinator;
 pub mod cost;
 pub mod mpc;

@@ -19,6 +19,8 @@
 //! * [`float`] — relative/absolute tolerance helpers shared by the
 //!   floating-point solvers.
 
+#![forbid(unsafe_code)]
+
 pub mod float;
 pub mod linalg;
 pub mod rational;

@@ -22,6 +22,8 @@
 //!
 //! [`epsnet`] holds the sample-size formula of Eq. (1).
 
+#![forbid(unsafe_code)]
+
 pub mod discrete;
 pub mod epsnet;
 pub mod reservoir;

@@ -5,16 +5,21 @@
 //! access sequence — never on wall time — which keeps the service's
 //! replay runs (`Service::run_replay`) bit-reproducible. Capacity is
 //! expected to be small (hundreds), so the O(capacity) eviction scan is
-//! cheaper than maintaining an intrusive list.
+//! cheaper than maintaining an intrusive list. The map is a `BTreeMap`,
+//! not a hashed one: the eviction scan is an *iteration*, and every
+//! iteration that can influence service behavior must drain in an order
+//! that depends only on the keys (stamps are unique, so `min_by_key` is
+//! already order-independent — the sorted map makes that true by
+//! construction instead of by argument, per the `llp_analyzer` policy).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Fingerprint-keyed LRU map.
 #[derive(Clone, Debug)]
 pub struct LruCache<V> {
     capacity: usize,
     clock: u64,
-    map: HashMap<u128, (u64, V)>,
+    map: BTreeMap<u128, (u64, V)>,
 }
 
 impl<V: Clone> LruCache<V> {
@@ -23,7 +28,7 @@ impl<V: Clone> LruCache<V> {
         LruCache {
             capacity,
             clock: 0,
-            map: HashMap::with_capacity(capacity.min(1024)),
+            map: BTreeMap::new(),
         }
     }
 

@@ -91,6 +91,7 @@ pub fn solve_model<P: LpTypeProblem, R: Rng>(
     let wall_ms;
     let solution = match model {
         Model::Ram => {
+            // llp-analyzer: allow(wall-clock) -- wall_ms meters the solve; the reading never feeds solver state
             let start = std::time::Instant::now();
             let (sol, stats) = llp_core::clarkson_solve(problem, data, &cfg, rng)
                 .map_err(|e| err(format!("{:?}", e.0)))?;
@@ -99,6 +100,7 @@ pub fn solve_model<P: LpTypeProblem, R: Rng>(
             sol
         }
         Model::Streaming => {
+            // llp-analyzer: allow(wall-clock) -- wall_ms meters the solve; the reading never feeds solver state
             let start = std::time::Instant::now();
             let (sol, stats) =
                 stream_impl::solve(problem, data, &cfg, SamplingMode::TwoPassIid, rng)
@@ -112,6 +114,7 @@ pub fn solve_model<P: LpTypeProblem, R: Rng>(
         Model::Coordinator => {
             let sizes = partition_sizes(data.len(), params.coord_sites, params.skew);
             let parts = partition_by_sizes(data.to_vec(), &sizes);
+            // llp-analyzer: allow(wall-clock) -- wall_ms meters the solve; the reading never feeds solver state
             let start = std::time::Instant::now();
             let (sol, stats) = coord_impl::solve_partitioned(problem, parts, &cfg, rng)
                 .map_err(|e| err(format!("{e:?}")))?;
@@ -132,12 +135,14 @@ pub fn solve_model<P: LpTypeProblem, R: Rng>(
                     let k = mpc_impl::machine_count(data.len(), params.mpc_delta);
                     let sizes = partition_sizes(data.len(), k, params.skew);
                     let parts = partition_by_sizes(data.to_vec(), &sizes);
+                    // llp-analyzer: allow(wall-clock) -- wall_ms meters the solve; the reading never feeds solver state
                     start = std::time::Instant::now();
                     mpc_impl::solve_partitioned(problem, parts, &mpc_cfg, rng)
                         .map_err(|e| err(format!("{e:?}")))?
                 }
                 None => {
                     let owned = data.to_vec();
+                    // llp-analyzer: allow(wall-clock) -- wall_ms meters the solve; the reading never feeds solver state
                     start = std::time::Instant::now();
                     mpc_impl::solve(problem, owned, &mpc_cfg, rng)
                         .map_err(|e| err(format!("{e:?}")))?

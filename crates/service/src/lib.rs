@@ -23,6 +23,8 @@
 //!
 //! See DESIGN.md §7 for the full queue/batching/shed policy.
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod exec;
 pub mod request;

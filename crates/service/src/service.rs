@@ -305,6 +305,7 @@ fn admit_locked(
     req: SolveRequest,
     key: u128,
 ) -> Result<Admission, SubmitError> {
+    // llp-analyzer: allow(wall-clock) -- request-latency metering; replay classification never reads the clock
     let now = Instant::now();
     st.stats.submitted += 1;
     if st.closed {
@@ -371,6 +372,7 @@ fn worker_loop(shared: &Shared) {
             loop {
                 if let Some(key) = st.pending.pop_front() {
                     let batch = st.inflight.get(&key).expect("pending batch vanished");
+                    // llp-analyzer: allow(wall-clock) -- request-latency metering; replay classification never reads the clock
                     break (key, batch.request.clone(), Instant::now());
                 }
                 if st.closed {
@@ -383,6 +385,7 @@ fn worker_loop(shared: &Shared) {
             }
         };
 
+        // llp-analyzer: allow(wall-clock) -- request-latency metering; replay classification never reads the clock
         let solve_start = Instant::now();
         let outcome = execute(&request, &shared.cfg.exec);
         let solve_ms = solve_start.elapsed().as_secs_f64() * 1000.0;
@@ -391,6 +394,7 @@ fn worker_loop(shared: &Shared) {
             Err(e) => (Err(e), false),
         };
 
+        // llp-analyzer: allow(wall-clock) -- request-latency metering; replay classification never reads the clock
         let done = Instant::now();
         let mut st = shared.state.lock().expect("service state poisoned");
         let batch = st.inflight.remove(&key).expect("running batch vanished");
@@ -413,6 +417,7 @@ fn worker_loop(shared: &Shared) {
             st.record_latency(total_ms);
             st.record_queue_wait(queue_wait_ms);
             // A dropped ticket is not an error: the submitter gave up.
+            // llp-analyzer: allow(lock-order) -- mpsc send is unbounded and never blocks; fan-out under the lock keeps counters, cache, and batch removal atomic
             let _ = w.tx.send(SolveResponse {
                 body: body.clone(),
                 served_from: if i == 0 {

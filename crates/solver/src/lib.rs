@@ -20,6 +20,8 @@
 //! * [`exact2d`] — an exact rational LP solver for `d = 2`, used as ground
 //!   truth for the Section 5 lower-bound instances.
 
+#![forbid(unsafe_code)]
+
 pub mod exact2d;
 pub mod lexico;
 pub mod seidel;

@@ -23,6 +23,8 @@
 //! runs against all four models (RAM / streaming / coordinator / MPC),
 //! emitting one machine-readable report cell per (scenario × model) pair.
 
+#![forbid(unsafe_code)]
+
 pub mod lp;
 pub mod meb;
 pub mod order;

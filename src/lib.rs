@@ -29,6 +29,8 @@
 //! * [`workloads`] — synthetic workload generators used by benches and
 //!   examples.
 
+#![forbid(unsafe_code)]
+
 pub use llp_baselines as baselines;
 pub use llp_bigdata as bigdata;
 pub use llp_core as core;

@@ -154,8 +154,8 @@ fn t2_streaming_space_shrinks_with_r() {
         col(&t, "peak_KB"),
     );
     // Within each (d, mode) group, peak space at r=4 is below r=1.
-    use std::collections::HashMap;
-    let mut groups: HashMap<(String, String), Vec<(u32, f64)>> = HashMap::new();
+    use std::collections::BTreeMap;
+    let mut groups: BTreeMap<(String, String), Vec<(u32, f64)>> = BTreeMap::new();
     for row in &t.rows {
         let kb: f64 = row[ck].parse().unwrap_or(f64::NAN);
         groups

@@ -12,6 +12,8 @@
 //! the goal is that `cargo bench` compiles, runs, and prints comparable
 //! numbers in an environment without registry access.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::time::{Duration, Instant};
 

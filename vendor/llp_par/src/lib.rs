@@ -40,6 +40,8 @@
 //! Nested calls (a parallel primitive invoked from inside a worker) run
 //! sequentially on the worker — parallelism never multiplies.
 
+#![forbid(unsafe_code)]
+
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;

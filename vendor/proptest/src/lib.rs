@@ -20,6 +20,8 @@
 //! (`unwrap`, `assert!`, index out of bounds, …), which is caught with
 //! `catch_unwind` and re-raised with the seed and inputs attached.
 
+#![forbid(unsafe_code)]
+
 pub mod collection;
 pub mod strategy;
 pub mod test_runner;

@@ -18,6 +18,8 @@
 //! and the property tests require. It makes no attempt at cryptographic
 //! strength and does not reproduce upstream rand's exact value streams.
 
+#![forbid(unsafe_code)]
+
 pub mod rngs;
 pub mod seq;
 

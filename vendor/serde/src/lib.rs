@@ -11,6 +11,8 @@
 //! document and `from_json` parses one, so constraint sets round-trip
 //! through files and over simulated network links.
 
+#![forbid(unsafe_code)]
+
 pub mod json;
 
 pub use serde_derive::{Deserialize, Serialize};

@@ -5,6 +5,8 @@
 //! derives. Written directly against the `proc_macro` token API because the
 //! offline environment has no `syn`/`quote`.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// Derives `serde::Serialize` by emitting field-by-field `to_value` calls.
