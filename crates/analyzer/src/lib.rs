@@ -19,7 +19,7 @@
 //! | `env-read` | deny | everywhere but `vendor/llp_par` |
 //! | `unseeded-rng` | deny | deterministic + timing crates |
 //! | `lock-order` | deny | any crate with a `Mutex` |
-//! | `hot-loop-alloc` | warn | the violation-scan kernels |
+//! | `hot-loop-alloc` | deny | the violation-scan kernels |
 //! | `missing-forbid-unsafe` | deny | every crate root |
 //!
 //! Suppressions are reasoned, line-targeted comments:

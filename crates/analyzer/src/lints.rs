@@ -151,9 +151,11 @@ pub fn check_forbid_unsafe(path: &str, lexed: &Lexed) -> Option<Finding> {
 /// Allocation-shaped calls the hot-loop lint flags inside loop bodies.
 const LOOP_ALLOC_METHODS: &[&str] = &["collect", "clone", "to_vec", "to_owned"];
 
-/// Warn-tier scan of loop bodies in the violation-scan kernels: each hit
-/// is a per-iteration allocation ROADMAP item 2's scratch arenas will
-/// hoist. Tracks `for`/`while`/`loop` bodies by brace depth (closures
+/// Deny-tier scan of loop bodies in the violation-scan kernels: each hit
+/// is a per-iteration allocation. The scratch arenas (`SolveScratch`,
+/// `ConstraintColumns`) hoisted every historical hit, so any new finding
+/// is a regression and fails CI. Tracks `for`/`while`/`loop` bodies by
+/// brace depth (closures
 /// inside a loop body count as inside the loop — a `map` callback runs
 /// per element, which is exactly the allocation pressure in question).
 fn scan_hot_loops(path: &str, toks: &[Tok]) -> Vec<Finding> {
@@ -203,7 +205,7 @@ fn scan_hot_loops(path: &str, toks: &[Tok]) -> Vec<Finding> {
                 if ctor {
                     out.push(Finding::new(
                         "hot-loop-alloc",
-                        Severity::Warn,
+                        Severity::Deny,
                         path,
                         t.line,
                         format!(
@@ -219,7 +221,7 @@ fn scan_hot_loops(path: &str, toks: &[Tok]) -> Vec<Finding> {
             {
                 out.push(Finding::new(
                     "hot-loop-alloc",
-                    Severity::Warn,
+                    Severity::Deny,
                     path,
                     t.line,
                     "`vec![…]` inside a kernel loop body allocates per \
@@ -232,7 +234,7 @@ fn scan_hot_loops(path: &str, toks: &[Tok]) -> Vec<Finding> {
                 if method_call {
                     out.push(Finding::new(
                         "hot-loop-alloc",
-                        Severity::Warn,
+                        Severity::Deny,
                         path,
                         t.line,
                         format!(

@@ -148,9 +148,10 @@ fn blocking_call_under_a_guard_is_detected() {
 }
 
 #[test]
-fn hot_loop_alloc_warns_in_kernel_files_only() {
+fn hot_loop_alloc_denies_in_kernel_files_only() {
     let src = include_str!("fixtures/hot_loop_firing.rs");
-    // Under a KERNEL_FILES path: warn-tier findings, zero deny.
+    // Under a KERNEL_FILES path: deny-tier findings (the scratch arenas
+    // hoisted every historical hit, so new ones fail CI), zero warn.
     let a = run(
         Class::Deterministic,
         "core",
@@ -158,8 +159,8 @@ fn hot_loop_alloc_warns_in_kernel_files_only() {
         src,
         false,
     );
-    assert!(a.report.warn >= 2, "{:?}", a.report.findings);
-    assert_eq!(a.report.deny, 0);
+    assert!(a.report.deny >= 2, "{:?}", a.report.findings);
+    assert_eq!(a.report.warn, 0);
     assert!(
         lints(&a).iter().all(|l| *l == "hot-loop-alloc"),
         "{:?}",

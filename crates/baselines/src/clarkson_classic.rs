@@ -10,7 +10,7 @@
 use llp_bigdata::streaming::{self, SamplingMode, StreamingStats};
 use llp_bigdata::BigDataError;
 use llp_core::clarkson::{ClarksonConfig, FailurePolicy, WeightFactor};
-use llp_core::lptype::LpTypeProblem;
+use llp_core::lptype::ColumnarProblem;
 use rand::Rng;
 
 /// The classic configuration: weight factor 2, otherwise identical to the
@@ -28,7 +28,7 @@ pub fn config() -> ClarksonConfig {
 
 /// Streaming solve with the classic factor (for head-to-head pass counts
 /// against Theorem 1's `n^{1/r}` rate).
-pub fn solve_streaming<P: LpTypeProblem, R: Rng>(
+pub fn solve_streaming<P: ColumnarProblem, R: Rng>(
     problem: &P,
     data: &[P::Constraint],
     rng: &mut R,

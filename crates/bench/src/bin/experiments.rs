@@ -8,9 +8,10 @@
 //!             [--check PATH] [id ...]
 //! ```
 //!
-//! * ids: any table id (`t1` … `t14`, `t13p`, `f1`, `f2`), `tables` (all
-//!   of them), `scenarios` (the registry grid), `serve` (the service
-//!   load mixes), or `all` (everything; the default).
+//! * ids: any table id (`t1` … `t14`, `t13p`, `t13c`, `f1`, `f2`),
+//!   `tables` (all of them), `scenarios` (the registry grid), `serve`
+//!   (the service load mixes), `columnar` (the AoS-vs-SoA scan
+//!   comparison block), or `all` (everything; the default).
 //! * `--quick` shrinks every input size through one shared [`RunBudget`]
 //!   (the same budget the integration tests use).
 //! * `--threads N` pins the `llp_par` scan-thread count via
@@ -67,7 +68,7 @@ fn main() {
                      [--threads N] [--workers N] [--requests N] [--check PATH] [id ...]"
                 );
                 eprintln!(
-                    "ids: {:?}, 'tables', 'scenarios', 'serve', or 'all' (default)",
+                    "ids: {:?}, 'tables', 'scenarios', 'serve', 'columnar', or 'all' (default)",
                     llp_bench::ALL
                 );
                 return;
@@ -112,14 +113,17 @@ fn main() {
     }
     let mut run_scenarios = false;
     let mut run_serve = false;
+    let mut run_columnar = false;
     for id in &ids {
         match id.as_str() {
             "scenarios" => run_scenarios = true,
             "serve" => run_serve = true,
+            "columnar" => run_columnar = true,
             "all" | "tables" => {
                 if id == "all" {
                     run_scenarios = true;
                     run_serve = true;
+                    run_columnar = true;
                 }
                 for table_id in llp_bench::ALL {
                     for table in llp_bench::run(table_id, budget) {
@@ -140,11 +144,11 @@ fn main() {
     if workers.is_some() || requests.is_some() {
         run_serve = true;
     }
-    if (out.is_some() || label.is_some()) && !run_scenarios && !run_serve {
+    if (out.is_some() || label.is_some()) && !run_scenarios && !run_serve && !run_columnar {
         run_scenarios = true;
     }
 
-    if run_scenarios || run_serve {
+    if run_scenarios || run_serve || run_columnar {
         let label = label.unwrap_or_else(unix_timestamp);
         let mut report = if run_scenarios {
             report::run_scenarios(budget, &label)
@@ -155,6 +159,7 @@ fn main() {
                 budget: budget.name().to_string(),
                 cells: Vec::new(),
                 service: Vec::new(),
+                columnar: Vec::new(),
             }
         };
         if run_scenarios {
@@ -171,6 +176,10 @@ fn main() {
             report.service = serve::run_mixes(budget, &opts);
             println!("{}", report.service_summary_table().render());
         }
+        if run_columnar {
+            report.columnar = report::run_columnar(budget);
+            println!("{}", report.columnar_summary_table().render());
+        }
         let path = out.unwrap_or_else(|| format!("BENCH_{label}.json"));
         std::fs::write(&path, report.to_json()).unwrap_or_else(|e| {
             eprintln!("error: cannot write {path}: {e}");
@@ -181,10 +190,12 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!(
-            "wrote {path} ({} grid cells, {} scenarios, {} service mixes, budget {})",
+            "wrote {path} ({} grid cells, {} scenarios, {} service mixes, {} columnar cells, \
+             budget {})",
             report.cells.len(),
             report.cells.len() / report::MODELS.len(),
             report.service.len(),
+            report.columnar.len(),
             report.budget
         );
     }
@@ -228,11 +239,13 @@ fn check_report(path: &str) {
     match report::validate(&report) {
         Ok(()) => {
             println!(
-                "{path}: ok — schema v{}, {} grid cells, {} scenarios, {} service mixes, budget {}",
+                "{path}: ok — schema v{}, {} grid cells, {} scenarios, {} service mixes, \
+                 {} columnar cells, budget {}",
                 report.schema_version,
                 report.cells.len(),
                 report.cells.len() / report::MODELS.len(),
                 report.service.len(),
+                report.columnar.len(),
                 report.budget
             );
         }

@@ -201,6 +201,33 @@ impl SiteWeights {
         (w, count)
     }
 
+    /// [`scan_and_stage`](Self::scan_and_stage) over the holder's
+    /// columnar mirror: same chunk grid, same staged indices and weight
+    /// (bit-identical to the AoS scan at any thread count), but the
+    /// branch-light column kernel does the walking and the staged buffer
+    /// is refilled in place instead of reallocated. `columns` must be
+    /// the transposition of the same local slice this holder indexes.
+    pub fn scan_and_stage_columnar<P: llp_core::lptype::ColumnarProblem>(
+        &mut self,
+        problem: &P,
+        solution: &P::Solution,
+        columns: &llp_geom::ConstraintColumns,
+    ) -> (ScaledF64, usize) {
+        assert_eq!(
+            columns.len(),
+            self.index.len(),
+            "scanning columns this holder does not index"
+        );
+        let w = llp_core::lptype::scan_violators_weighted_columnar(
+            problem,
+            solution,
+            columns,
+            &self.index,
+            &mut self.staged,
+        );
+        (w, self.staged.len())
+    }
+
     /// Applies the coordinator's verdict on the staged basis: accepted ⇒
     /// every staged violator's weight ×`F` (`O(|V| log n)`); rejected ⇒
     /// weights unchanged. Either way the staged list is consumed.

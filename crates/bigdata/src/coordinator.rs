@@ -21,8 +21,9 @@
 
 use crate::common::{RunParams, SiteWeights};
 use crate::BigDataError;
-use llp_core::lptype::LpTypeProblem;
+use llp_core::lptype::ColumnarProblem;
 use llp_core::ClarksonConfig;
+use llp_geom::ConstraintColumns;
 use llp_models::coordinator::CoordSim;
 use llp_num::ScaledF64;
 use rand::Rng;
@@ -58,7 +59,7 @@ pub struct CoordinatorStats {
 ///
 /// # Panics
 /// Panics if `data` is empty or `k == 0`.
-pub fn solve<P: LpTypeProblem, R: Rng>(
+pub fn solve<P: ColumnarProblem, R: Rng>(
     problem: &P,
     data: Vec<P::Constraint>,
     k: usize,
@@ -80,7 +81,7 @@ pub fn solve<P: LpTypeProblem, R: Rng>(
 ///
 /// # Panics
 /// Panics if the partition is empty or holds no constraints overall.
-pub fn solve_partitioned<P: LpTypeProblem, R: Rng>(
+pub fn solve_partitioned<P: ColumnarProblem, R: Rng>(
     problem: &P,
     partitions: Vec<Vec<P::Constraint>>,
     cfg: &ClarksonConfig,
@@ -97,6 +98,10 @@ pub fn solve_partitioned<P: LpTypeProblem, R: Rng>(
     let mut sites: Vec<SiteWeights> = (0..k)
         .map(|i| SiteWeights::new(sim.site(i).len(), params.factor))
         .collect();
+    // Each site's columnar mirror of its partition, transposed once and
+    // scanned every round-3; local storage, so the meters are untouched.
+    let site_columns: Vec<ConstraintColumns> =
+        (0..k).map(|i| problem.to_columns(sim.site(i))).collect();
 
     let mut stats = CoordinatorStats {
         net_size: params.net_size,
@@ -175,11 +180,12 @@ pub fn solve_partitioned<P: LpTypeProblem, R: Rng>(
         for i in 0..k {
             sim.charge_down(&RawBits(problem.solution_bits()));
             // The site's fused violation-test + weight scan runs on the
-            // llp_par pool, reading weights off its index; the violator
-            // indices are staged locally for next round's verdict. The
-            // metered messages below are identical to the sequential
-            // protocol — the staged list never travels.
-            let (local_w, local_count) = sites[i].scan_and_stage(problem, &solution, sim.site(i));
+            // llp_par pool over its columnar mirror, reading weights off
+            // its index; the violator indices are staged locally for next
+            // round's verdict. The metered messages below are identical
+            // to the sequential protocol — the staged list never travels.
+            let (local_w, local_count) =
+                sites[i].scan_and_stage_columnar(problem, &solution, &site_columns[i]);
             sim.charge_up(&(0.0f64, 0u64)); // w(V_i): 128 bits
             sim.charge_up(&0u64); // count: 64 bits
             w_violators += local_w;
@@ -221,7 +227,7 @@ impl llp_models::cost::BitCost for RawBits {
 mod tests {
     use super::*;
     use llp_core::instances::lp::LpProblem;
-    use llp_core::lptype::count_violations;
+    use llp_core::lptype::{count_violations, LpTypeProblem};
     use llp_geom::Halfspace;
     use llp_num::linalg::norm;
     use rand::rngs::StdRng;

@@ -20,8 +20,9 @@
 
 use crate::common::{RunParams, SiteWeights};
 use crate::BigDataError;
-use llp_core::lptype::LpTypeProblem;
+use llp_core::lptype::ColumnarProblem;
 use llp_core::ClarksonConfig;
+use llp_geom::ConstraintColumns;
 use llp_models::mpc::MpcSim;
 use llp_num::ScaledF64;
 use rand::Rng;
@@ -160,7 +161,7 @@ pub fn machine_count(n: usize, delta: f64) -> usize {
 ///
 /// # Panics
 /// Panics if `data` is empty.
-pub fn solve<P: LpTypeProblem, R: Rng>(
+pub fn solve<P: ColumnarProblem, R: Rng>(
     problem: &P,
     data: Vec<P::Constraint>,
     cfg: &MpcConfig,
@@ -186,7 +187,7 @@ pub fn solve<P: LpTypeProblem, R: Rng>(
 ///
 /// # Panics
 /// Panics if the partition is empty or holds no constraints overall.
-pub fn solve_partitioned<P: LpTypeProblem, R: Rng>(
+pub fn solve_partitioned<P: ColumnarProblem, R: Rng>(
     problem: &P,
     partitions: Vec<Vec<P::Constraint>>,
     cfg: &MpcConfig,
@@ -209,6 +210,11 @@ pub fn solve_partitioned<P: LpTypeProblem, R: Rng>(
     let mut machines: Vec<SiteWeights> = (0..k)
         .map(|i| SiteWeights::new(sim.machine(i).len(), params.factor))
         .collect();
+    // Each machine's columnar mirror of its partition, transposed once
+    // and scanned every iteration; local storage, so the load meters are
+    // untouched.
+    let machine_columns: Vec<ConstraintColumns> =
+        (0..k).map(|i| problem.to_columns(sim.machine(i))).collect();
 
     let mut stats = MpcStats {
         k,
@@ -288,11 +294,13 @@ pub fn solve_partitioned<P: LpTypeProblem, R: Rng>(
         broadcast_down(&mut sim, &tree, depth, problem.solution_bits());
 
         // ---- Violator weights converge-cast. Each machine's fused
-        // violation-test + weight scan runs on the llp_par pool, reading
-        // weights off its index and staging the violator indices for the
-        // next verdict broadcast (the staged lists never travel). ----
+        // violation-test + weight scan runs on the llp_par pool over its
+        // columnar mirror, reading weights off its index and staging the
+        // violator indices for the next verdict broadcast (the staged
+        // lists never travel). ----
         let local_viol: Vec<(ScaledF64, usize)> = (0..k)
-            .map(|i| machines[i].scan_and_stage(problem, &solution, sim.machine(i)))
+            .zip(machine_columns.iter())
+            .map(|(i, cols)| machines[i].scan_and_stage_columnar(problem, &solution, cols))
             .collect();
         let viol_w: Vec<ScaledF64> = local_viol.iter().map(|v| v.0).collect();
         let agg_w = converge_sum(&mut sim, &tree, depth, &viol_w, 192);
@@ -436,7 +444,7 @@ impl llp_models::cost::BitCost for RawBits {
 mod tests {
     use super::*;
     use llp_core::instances::lp::LpProblem;
-    use llp_core::lptype::count_violations;
+    use llp_core::lptype::{count_violations, LpTypeProblem};
     use llp_geom::Halfspace;
     use llp_num::linalg::norm;
     use rand::rngs::StdRng;

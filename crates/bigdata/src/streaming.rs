@@ -19,8 +19,9 @@
 
 use crate::common::{RunParams, WeightOracle};
 use crate::BigDataError;
-use llp_core::lptype::LpTypeProblem;
+use llp_core::lptype::{ColumnarProblem, LpTypeProblem};
 use llp_core::ClarksonConfig;
+use llp_geom::ConstraintColumns;
 use llp_models::streaming::StreamSession;
 use llp_num::ScaledF64;
 use llp_sampling::reservoir::WeightedReservoir;
@@ -63,7 +64,7 @@ pub struct StreamingStats {
 ///
 /// # Panics
 /// Panics if `data` is empty.
-pub fn solve<P: LpTypeProblem, R: Rng>(
+pub fn solve<P: ColumnarProblem, R: Rng>(
     problem: &P,
     data: &[P::Constraint],
     cfg: &ClarksonConfig,
@@ -73,7 +74,13 @@ pub fn solve<P: LpTypeProblem, R: Rng>(
     assert!(!data.is_empty(), "empty stream");
     let mut session = StreamSession::new(data);
     let out = match mode {
-        SamplingMode::TwoPassIid => run_two_pass(problem, &mut session, cfg, rng),
+        SamplingMode::TwoPassIid => {
+            // The columnar mirror models the stream's storage layout, not
+            // extra memory: pass 2 sweeps it in stream order, so the pass
+            // accounting and weight recomputation are unchanged.
+            let columns = problem.to_columns(data);
+            run_two_pass(problem, data, &columns, &mut session, cfg, rng)
+        }
         SamplingMode::OnePassSpeculative => run_one_pass(problem, &mut session, cfg, rng),
     };
     out.map(|(sol, mut stats)| {
@@ -84,8 +91,10 @@ pub fn solve<P: LpTypeProblem, R: Rng>(
     })
 }
 
-fn run_two_pass<P: LpTypeProblem, R: Rng>(
+fn run_two_pass<P: ColumnarProblem, R: Rng>(
     problem: &P,
+    data: &[P::Constraint],
+    columns: &ConstraintColumns,
     session: &mut StreamSession<'_, P::Constraint>,
     cfg: &ClarksonConfig,
     rng: &mut R,
@@ -101,6 +110,9 @@ fn run_two_pass<P: LpTypeProblem, R: Rng>(
     let mut oracle: WeightOracle<P> = WeightOracle::new(params.factor);
     let mut total_weight = ScaledF64::from_f64(n as f64);
     let cbits = problem.constraint_bits();
+    // Violator index buffer, reused across iterations (bounded by n, and
+    // by w(V) ≤ ε·w(S) on successful iterations in practice).
+    let mut violators: Vec<usize> = Vec::new();
 
     while stats.iterations < params.max_iterations {
         stats.iterations += 1;
@@ -156,14 +168,18 @@ fn run_two_pass<P: LpTypeProblem, R: Rng>(
         drop(net);
 
         // ---- Pass 2: violation test + exact new total weight. ----
+        // The sweep runs over the columnar mirror of the stream in stream
+        // order; `pass()` still charges the pass. Weights are recomputed
+        // per violator in ascending stream order — the same ScaledF64
+        // additions, in the same order, as the element-wise loop.
+        let _ = session.pass();
+        violators.clear();
+        problem.scan_columns(&solution, &columns.full_view(), &mut violators);
         let mut w_violators = ScaledF64::ZERO;
-        let mut violator_count = 0usize;
-        for c in session.pass() {
-            if problem.violates(&solution, c) {
-                violator_count += 1;
-                w_violators += oracle.weight(problem, c);
-            }
+        for &i in violators.iter() {
+            w_violators += oracle.weight(problem, &data[i]);
         }
+        let violator_count = violators.len();
 
         if w_violators.ratio(total_weight) <= params.eps {
             if violator_count == 0 {

@@ -5,8 +5,8 @@
 //! that ties are broken canonically and the locality property holds. Both
 //! the combinatorial dimension and the VC dimension are `d + 1` [32, 43].
 
-use crate::lptype::{LpTypeProblem, SolveError};
-use llp_geom::{Halfspace, Point};
+use crate::lptype::{ColumnarProblem, LpTypeProblem, SolveError};
+use llp_geom::{ColumnsView, ConstraintColumns, Halfspace, Point};
 use llp_num::linalg::dot;
 use llp_solver::lexico::lex_min_optimum;
 use llp_solver::seidel::SeidelConfig;
@@ -65,6 +65,63 @@ impl LpTypeProblem for LpProblem {
 
     fn objective_value(&self, x: &Point) -> f64 {
         dot(&self.objective, x)
+    }
+}
+
+impl ColumnarProblem for LpProblem {
+    fn to_columns(&self, constraints: &[Halfspace]) -> ConstraintColumns {
+        let mut cols = ConstraintColumns::zeroed(self.dim(), constraints.len());
+        for (i, h) in constraints.iter().enumerate() {
+            cols.set_row(i, &h.a, h.b);
+        }
+        cols
+    }
+
+    // Branch-light columnar twin of `violates`: `a·x` accumulates 4-wide
+    // down the coordinate columns — per element the additions run in the
+    // same ascending-j order as `dot(&h.a, x)`, so each slack is
+    // bit-identical to the AoS predicate's — and the (rare) violation
+    // branch runs once per element after the arithmetic. The negated
+    // compare must stay `!(ax <= bound)`: it is the literal negation of
+    // `contains_eps`, so a NaN slack classifies as a violator on both
+    // paths (`ax > bound` would flip it here only).
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    fn scan_columns(&self, x: &Point, view: &ColumnsView<'_>, out: &mut Vec<usize>) {
+        let n = view.len();
+        let d = view.dim();
+        let base = view.start();
+        let eps = self.violation_eps;
+        let bs = view.extra();
+        let mut i = 0;
+        while i + 4 <= n {
+            let mut ax = [0.0f64; 4];
+            for j in 0..d {
+                let col = view.col(j);
+                let xj = x[j];
+                ax[0] += col[i] * xj;
+                ax[1] += col[i + 1] * xj;
+                ax[2] += col[i + 2] * xj;
+                ax[3] += col[i + 3] * xj;
+            }
+            for (k, &axk) in ax.iter().enumerate() {
+                let b = bs[i + k];
+                if !(axk <= b + eps * axk.abs().max(b.abs()).max(1.0)) {
+                    out.push(base + i + k);
+                }
+            }
+            i += 4;
+        }
+        while i < n {
+            let mut ax = 0.0f64;
+            for j in 0..d {
+                ax += view.col(j)[i] * x[j];
+            }
+            let b = bs[i];
+            if !(ax <= b + eps * ax.abs().max(b.abs()).max(1.0)) {
+                out.push(base + i);
+            }
+            i += 1;
+        }
     }
 }
 

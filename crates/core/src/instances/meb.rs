@@ -5,8 +5,8 @@
 //! containing `A`. Combinatorial dimension ≤ `d + 1` \[32\]; VC dimension of
 //! complements of balls ≤ `d + 1` \[44\].
 
-use crate::lptype::{LpTypeProblem, SolveError};
-use llp_geom::Point;
+use crate::lptype::{ColumnarProblem, LpTypeProblem, SolveError};
+use llp_geom::{ColumnsView, ConstraintColumns, Point};
 use llp_solver::welzl::{min_enclosing_ball, Ball};
 use rand::RngCore;
 
@@ -50,6 +50,71 @@ impl LpTypeProblem for MebProblem {
 
     fn objective_value(&self, ball: &Ball) -> f64 {
         ball.radius
+    }
+}
+
+impl ColumnarProblem for MebProblem {
+    // Points have no per-constraint scalar; the extra column is zeros.
+    fn to_columns(&self, constraints: &[Point]) -> ConstraintColumns {
+        let mut cols = ConstraintColumns::zeroed(self.dim, constraints.len());
+        for (i, p) in constraints.iter().enumerate() {
+            cols.set_row(i, p, 0.0);
+        }
+        cols
+    }
+
+    // Columnar twin of `violates`: squared distances accumulate 4-wide
+    // down the coordinate columns in the same ascending-j order as
+    // `dist2(&ball.center, p)` (center minus point, like the AoS call),
+    // then one containment compare per element. The empty ball
+    // (`radius < 0`) contains nothing, so every row is a violator. The
+    // negated compare must stay `!(dsq <= bound)`: it is the literal
+    // negation of the AoS containment test, so a NaN distance classifies
+    // as a violator on both paths (`dsq > bound` would flip it here only).
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    fn scan_columns(&self, ball: &Ball, view: &ColumnsView<'_>, out: &mut Vec<usize>) {
+        let n = view.len();
+        let base = view.start();
+        if ball.radius < 0.0 {
+            out.extend(base..base + n);
+            return;
+        }
+        let d = view.dim();
+        let r2 = ball.radius * ball.radius;
+        let bound = r2 + self.violation_eps * r2.max(1.0);
+        let mut i = 0;
+        while i + 4 <= n {
+            let mut dsq = [0.0f64; 4];
+            for j in 0..d {
+                let col = view.col(j);
+                let cj = ball.center[j];
+                let d0 = cj - col[i];
+                let d1 = cj - col[i + 1];
+                let d2 = cj - col[i + 2];
+                let d3 = cj - col[i + 3];
+                dsq[0] += d0 * d0;
+                dsq[1] += d1 * d1;
+                dsq[2] += d2 * d2;
+                dsq[3] += d3 * d3;
+            }
+            for (k, &dk) in dsq.iter().enumerate() {
+                if !(dk <= bound) {
+                    out.push(base + i + k);
+                }
+            }
+            i += 4;
+        }
+        while i < n {
+            let mut dsq = 0.0f64;
+            for j in 0..d {
+                let delta = ball.center[j] - view.col(j)[i];
+                dsq += delta * delta;
+            }
+            if !(dsq <= bound) {
+                out.push(base + i);
+            }
+            i += 1;
+        }
     }
 }
 

@@ -5,19 +5,35 @@
 //! lexicographic refinement is needed (as the paper notes). Combinatorial
 //! and VC dimension are both at most `d + 1` [32, 43].
 
-use crate::lptype::{LpTypeProblem, SolveError};
-use llp_geom::Point;
+use crate::lptype::{ColumnarProblem, LpTypeProblem, SolveError};
+use llp_geom::{ColumnsView, ConstraintColumns, Point};
 use llp_num::linalg::dot;
 use llp_solver::svm_qp::{self, SvmConfig, SvmResult};
 use rand::RngCore;
 
 /// One labeled training point (one margin constraint of Eq. (6)).
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Debug, PartialEq)]
 pub struct SvmPoint {
     /// Feature vector `x_j ∈ R^d`.
     pub x: Point,
     /// Label `y_j ∈ {−1, +1}`.
     pub y: i8,
+}
+
+impl Clone for SvmPoint {
+    fn clone(&self) -> Self {
+        SvmPoint {
+            x: self.x.clone(),
+            y: self.y,
+        }
+    }
+
+    // Field-wise so `Vec::clone_from` reuses the feature buffer when the
+    // solver's scratch arena refills its net constraints.
+    fn clone_from(&mut self, source: &Self) {
+        self.x.clone_from(&source.x);
+        self.y = source.y;
+    }
 }
 
 /// The hard-margin SVM problem in `d` dimensions.
@@ -76,6 +92,58 @@ impl LpTypeProblem for SvmProblem {
 
     fn objective_value(&self, u: &Point) -> f64 {
         dot(u, u)
+    }
+}
+
+impl ColumnarProblem for SvmProblem {
+    // The extra column carries the label as `±1.0` — exactly
+    // representable, so `extra * ⟨u,x⟩` reproduces `margin`'s
+    // `f64::from(y) * dot(u, x)` bit for bit.
+    fn to_columns(&self, constraints: &[SvmPoint]) -> ConstraintColumns {
+        let mut cols = ConstraintColumns::zeroed(self.dim, constraints.len());
+        for (i, p) in constraints.iter().enumerate() {
+            cols.set_row(i, &p.x, f64::from(p.y));
+        }
+        cols
+    }
+
+    // Columnar twin of `violates`: `⟨u, x_i⟩` accumulates 4-wide down
+    // the feature columns in the same ascending-j order as
+    // `dot(u, &p.x)`, then one margin compare per element.
+    fn scan_columns(&self, u: &Point, view: &ColumnsView<'_>, out: &mut Vec<usize>) {
+        let n = view.len();
+        let d = view.dim();
+        let base = view.start();
+        let thresh = 1.0 - self.violation_eps;
+        let labels = view.extra();
+        let mut i = 0;
+        while i + 4 <= n {
+            let mut ux = [0.0f64; 4];
+            for j in 0..d {
+                let col = view.col(j);
+                let uj = u[j];
+                ux[0] += uj * col[i];
+                ux[1] += uj * col[i + 1];
+                ux[2] += uj * col[i + 2];
+                ux[3] += uj * col[i + 3];
+            }
+            for (k, &uxk) in ux.iter().enumerate() {
+                if labels[i + k] * uxk < thresh {
+                    out.push(base + i + k);
+                }
+            }
+            i += 4;
+        }
+        while i < n {
+            let mut ux = 0.0f64;
+            for j in 0..d {
+                ux += u[j] * view.col(j)[i];
+            }
+            if labels[i] * ux < thresh {
+                out.push(base + i);
+            }
+            i += 1;
+        }
     }
 }
 

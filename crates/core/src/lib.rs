@@ -23,5 +23,8 @@ pub mod clarkson;
 pub mod instances;
 pub mod lptype;
 
-pub use clarkson::{solve as clarkson_solve, ClarksonConfig, ClarksonOutcome, ClarksonStats};
-pub use lptype::{LpTypeProblem, SolveError};
+pub use clarkson::{
+    solve as clarkson_solve, solve_with_scratch as clarkson_solve_with_scratch, ClarksonConfig,
+    ClarksonOutcome, ClarksonStats, SolveScratch,
+};
+pub use lptype::{ColumnarProblem, LpTypeProblem, SolveError};

@@ -103,6 +103,72 @@ pub trait LpTypeProblem: Sync {
     fn objective_value(&self, solution: &Self::Solution) -> f64;
 }
 
+/// An LP-type problem whose constraints also live in columnar
+/// (struct-of-arrays) storage — the layout the hot violation scan
+/// actually runs over (ROADMAP item 2; the same flat layout is the
+/// forthcoming on-disk block format of item 3).
+///
+/// The contract that makes the columnar path a pure layout change:
+/// for every solution and constraint set,
+/// [`scan_columns`](ColumnarProblem::scan_columns) over a view
+/// must report exactly the constraints for which
+/// [`violates`](LpTypeProblem::violates) is true, evaluating the same
+/// floating-point operation sequence per element so the two paths are
+/// *bit-identical* — the SoA-vs-AoS differential suite in
+/// `tests/parallel_determinism.rs` enforces this.
+pub trait ColumnarProblem: LpTypeProblem {
+    /// Transposes AoS constraints into columnar storage. O(n·d), done
+    /// once per solve (or once per site/machine in the big-data
+    /// models), then amortized over every iteration's scan.
+    fn to_columns(&self, constraints: &[Self::Constraint]) -> llp_geom::ConstraintColumns;
+
+    /// Scans one row range for violators, appending their **absolute**
+    /// indices (`view.start() + offset`) to `out` in ascending order.
+    fn scan_columns(
+        &self,
+        solution: &Self::Solution,
+        view: &llp_geom::ColumnsView<'_>,
+        out: &mut Vec<usize>,
+    );
+}
+
+/// The columnar twin of [`scan_violators_weighted`]: same chunk grid
+/// (`llp_par::DEFAULT_CHUNK` fixed boundaries via `par_ranges`), same
+/// in-order merge, but each chunk runs the problem's branch-light
+/// column kernel instead of the per-element AoS predicate. Violator
+/// indices land in the caller's reusable `out` buffer (cleared first)
+/// so the solver loop allocates nothing per iteration; the return
+/// value is their total weight. Both outputs are bit-identical to the
+/// AoS scan at any `LLP_THREADS`.
+pub fn scan_violators_weighted_columnar<P: ColumnarProblem>(
+    problem: &P,
+    solution: &P::Solution,
+    columns: &llp_geom::ConstraintColumns,
+    index: &llp_sampling::weight_index::WeightIndex,
+    out: &mut Vec<usize>,
+) -> llp_num::ScaledF64 {
+    use llp_num::ScaledF64;
+    out.clear();
+    let parts = llp_par::par_ranges(columns.len(), llp_par::DEFAULT_CHUNK, |start, end| {
+        let mut idx = Vec::with_capacity(64);
+        problem.scan_columns(solution, &columns.view(start, end), &mut idx);
+        // Summing weights after the kernel (ascending, like the AoS
+        // interleaved push/add) keeps the ScaledF64 operation sequence
+        // identical to scan_violators_weighted's.
+        let mut w = ScaledF64::ZERO;
+        for &i in idx.iter() {
+            w += index.get(i);
+        }
+        (idx, w)
+    });
+    let mut w_total = ScaledF64::ZERO;
+    for (idx, w) in &parts {
+        out.extend_from_slice(idx);
+        w_total += *w;
+    }
+    w_total
+}
+
 /// Counts the constraints violating a solution — shared helper for tests
 /// and validation (the production paths fold violation checks into their
 /// passes). Runs the scan on the `llp_par` pool; the count is exact and

@@ -11,12 +11,29 @@ pub type Point = Vec<f64>;
 ///
 /// This is both a geometric object and "one LP constraint"; the paper's set
 /// `S_X ⊆ R` of Property (P1) is exactly the point set of this halfspace.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
 pub struct Halfspace {
     /// Constraint normal `a` (the coefficients `a^j_i` of Eq. (5)).
     pub a: Vec<f64>,
     /// Right-hand side `b^j`.
     pub b: f64,
+}
+
+impl Clone for Halfspace {
+    fn clone(&self) -> Self {
+        Halfspace {
+            a: self.a.clone(),
+            b: self.b,
+        }
+    }
+
+    // Field-wise so `Vec::clone_from` reuses the existing normal buffer;
+    // the derive's `*self = source.clone()` would reallocate, defeating
+    // the solver's scratch-arena reuse of net constraints.
+    fn clone_from(&mut self, source: &Self) {
+        self.a.clone_from(&source.a);
+        self.b = source.b;
+    }
 }
 
 impl Halfspace {

@@ -10,6 +10,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod columns;
 pub mod halfspace;
 
+pub use columns::{ColumnsView, ConstraintColumns};
 pub use halfspace::{Halfspace, Point};

@@ -127,17 +127,29 @@ fn solve_rec<R: Rng + ?Sized>(
         // New optimum lies on the boundary of h: eliminate pivot_var and
         // recurse on the prefix (plus the box constraints of the eliminated
         // variable, which become ordinary constraints after elimination).
+        //
+        // Each eliminated constraint is renormalized before the recursion:
+        // near-parallel eliminations leave reduced normals with tiny
+        // magnitude, and `solve_1d`'s `b / a` division amplifies their
+        // absolute rounding error past any fixed relative tolerance —
+        // which read as false `Infeasible` verdicts on near-tie inputs.
+        // Normalizing restores ‖a‖ = 1 so the relative eps comparison in
+        // the base case measures true geometric slack.
         let mut reduced: Vec<Halfspace> = Vec::with_capacity(i + 2);
         for g in &constraints[..i] {
-            reduced.push(h.eliminate_into(g, pivot_var));
+            reduced.push(normalize(&h.eliminate_into(g, pivot_var)));
         }
         // Box for the eliminated variable: x_var ≤ M and -x_var ≤ M.
         let mut lo = vec![0.0; d];
         lo[pivot_var] = -1.0;
         let mut hi = vec![0.0; d];
         hi[pivot_var] = 1.0;
-        reduced.push(h.eliminate_into(&Halfspace::new(hi, m), pivot_var));
-        reduced.push(h.eliminate_into(&Halfspace::new(lo, m), pivot_var));
+        reduced.push(normalize(
+            &h.eliminate_into(&Halfspace::new(hi, m), pivot_var),
+        ));
+        reduced.push(normalize(
+            &h.eliminate_into(&Halfspace::new(lo, m), pivot_var),
+        ));
 
         // Objective restricted to the hyperplane: substitute x_var.
         let scale = objective[pivot_var] / h.a[pivot_var];
@@ -330,6 +342,52 @@ mod tests {
             solve(&cs, &[1.0, 1.0], &SeidelConfig::default(), &mut rng()),
             LpResult::Infeasible
         );
+    }
+
+    #[test]
+    fn near_tie_cluster_is_not_falsely_infeasible() {
+        // A cluster of near-parallel constraints, all passing within 1e-9
+        // of a planted point, is the shape that used to come back falsely
+        // `Infeasible` from the full stack: eliminating one cluster
+        // constraint against another leaves a reduced constraint with
+        // ‖a‖ ≈ spread, and without renormalization the 1-D base case
+        // divided by that tiny coefficient and read the amplified rounding
+        // error as an empty interval. The planted point is feasible by
+        // construction, so `Infeasible` is always wrong here.
+        use rand::Rng;
+        let mut r = rng();
+        for trial in 0..25 {
+            let d = 2 + (trial % 2);
+            let mut c: Vec<f64> = (0..d).map(|_| r.random_range(-1.0..1.0)).collect();
+            let cn = llp_num::linalg::norm(&c);
+            if cn < 1e-6 {
+                continue;
+            }
+            c.iter_mut().for_each(|v| *v /= cn);
+            let x_star: Vec<f64> = c.iter().map(|v| -v).collect();
+            let mut cs = Vec::with_capacity(64 + 2 * d);
+            for _ in 0..64 {
+                let g: Vec<f64> = (0..d).map(|_| r.random_range(-1.0..1.0)).collect();
+                let raw: Vec<f64> = (0..d).map(|j| -c[j] + 1e-3 * g[j]).collect();
+                let nn = llp_num::linalg::norm(&raw);
+                let a: Vec<f64> = raw.into_iter().map(|v| v / nn).collect();
+                let b = dot(&a, &x_star) + r.random_range(0.0..1e-9);
+                cs.push(Halfspace::new(a, b));
+            }
+            for j in 0..d {
+                let mut hi = vec![0.0; d];
+                hi[j] = 1.0;
+                let mut lo = vec![0.0; d];
+                lo[j] = -1.0;
+                cs.push(Halfspace::new(hi, 2.0));
+                cs.push(Halfspace::new(lo, 2.0));
+            }
+            let res = solve(&cs, &c, &SeidelConfig::default(), &mut r);
+            assert!(
+                !matches!(res, LpResult::Infeasible),
+                "trial {trial}: planted point is feasible, got Infeasible"
+            );
+        }
     }
 
     #[test]

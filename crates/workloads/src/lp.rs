@@ -90,22 +90,25 @@ pub fn degenerate_box_lp(n: usize, d: usize, seed: u64) -> (LpProblem, Vec<Halfs
 }
 
 /// Near-ties at the optimum: all `n` constraints pass within `jitter`
-/// (1e-7 — right at the violation tolerance) of the planted optimum
-/// `x* = −c`, with normals spread only `spread` (1e-3) around `−c`. Every
-/// constraint is *almost* binding at the optimum, so tie-breaking and the
-/// violation tolerance are stressed maximally; the optimal objective is
-/// `c·x* = −1` up to `O(spread²)`. A box `|x_j| ≤ 2` keeps the region
-/// bounded in the directions the cluster leaves open. (Jitter far below
-/// the solver tolerance makes the basis solver's feasibility test
-/// unreliable on sampled subsets — this family sits at the edge it can
-/// still certify.)
+/// (1e-9 — two orders below the violation tolerance, at the solver's own
+/// feasibility eps) of the planted optimum `x* = −c`, with normals spread
+/// only `spread` (1e-3) around `−c`. Every constraint is *almost* binding
+/// at the optimum, so tie-breaking and the violation tolerance are
+/// stressed maximally; the optimal objective is `c·x* = −1` up to
+/// `O(spread²)`. A box `|x_j| ≤ 2` keeps the region bounded in the
+/// directions the cluster leaves open. (Jitter this deep used to trip the
+/// basis solver into false `Infeasible` verdicts on sampled subsets —
+/// Seidel's variable elimination left reduced constraints unnormalized, so
+/// the 1-D base case compared amplified rounding error against a relative
+/// tolerance. The recursion now renormalizes; this family pins the
+/// adversarial regime as a regression guard.)
 pub fn near_tie_lp(n: usize, d: usize, seed: u64) -> (LpProblem, Vec<Halfspace>) {
     assert!(d >= 1 && n >= 1);
     let mut rng = StdRng::seed_from_u64(seed);
     let c = random_unit(d, &mut rng);
     let x_star: Vec<f64> = c.iter().map(|v| -v).collect();
     let spread = 1e-3;
-    let jitter = 1e-7;
+    let jitter = 1e-9;
     let mut cs = Vec::with_capacity(n + 2 * d);
     for _ in 0..n {
         let g = random_unit(d, &mut rng);
@@ -232,6 +235,48 @@ mod tests {
         // The planted optimum x* = −c is feasible.
         let x_star: Vec<f64> = p.objective.iter().map(|v| -v).collect();
         assert!(cs.iter().all(|h| h.contains_eps(&x_star, 1e-6)));
+    }
+
+    #[test]
+    fn near_tie_sampled_subsets_never_report_infeasible() {
+        // With jitter at 1e-9 (the adversarial regime this family
+        // targets), sampled subsets used to trip the basis solver's
+        // feasibility check — PR 4's workaround pinned jitter at 1e-7.
+        // The planted optimum `x* = −c` satisfies every constraint, so
+        // every subset is feasible and any `Infeasible` is a solver bug.
+        use rand::Rng;
+        let (p, cs) = near_tie_lp(4000, 3, 31);
+        let mut r = StdRng::seed_from_u64(17);
+        for trial in 0..12 {
+            let subset: Vec<_> = (0..256)
+                .map(|_| cs[r.random_range(0..cs.len())].clone())
+                .collect();
+            let sol = p.solve_subset(&subset, &mut r);
+            assert!(
+                sol.is_ok(),
+                "trial {trial}: feasible subset reported {:?}",
+                sol.err()
+            );
+        }
+    }
+
+    #[test]
+    fn near_tie_full_solve_regression() {
+        // Pinned reproduction of the false-`Infeasible` bug: this exact
+        // (generator seed, solver seed) pair made `clarkson_solve` abort
+        // with `Infeasible` on a feasible instance before Seidel's
+        // recursion renormalized eliminated constraints (the 1-D base
+        // case compared `b / a` of a tiny-norm reduced constraint —
+        // amplified rounding error — against its relative tolerance).
+        let (p, cs) = near_tie_lp(48_000, 3, 2);
+        let mut r = StdRng::seed_from_u64(5);
+        let cfg = llp_core::ClarksonConfig::lean(3);
+        let out = llp_core::clarkson_solve(&p, &cs, &cfg, &mut r);
+        assert!(
+            out.is_ok(),
+            "near-tie instance reported {:?}",
+            out.err().map(|e| e.0)
+        );
     }
 
     #[test]

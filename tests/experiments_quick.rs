@@ -38,6 +38,7 @@ fn serve_mixes_produce_a_valid_service_block() {
         budget: "quick".to_string(),
         cells: Vec::new(),
         service,
+        columnar: Vec::new(),
     };
     report::validate(&r).expect("service block must validate");
     let hot = r.service.iter().find(|c| c.mix == "hot_key").unwrap();
@@ -111,6 +112,34 @@ fn f2_hard_instances_always_valid() {
         let (num, den) = row[ca].split_once('/').unwrap();
         assert_eq!(num, den, "answer escaped the special block: {row:?}");
     }
+}
+
+#[test]
+fn t13c_columnar_scan_is_bit_identical() {
+    // The table and the report's columnar block share one measurement
+    // path (`report::run_columnar`); validating the cells here is the
+    // same gate CI's `--check` applies to the written JSON.
+    let cells = report::run_columnar(bench::RunBudget::Quick);
+    assert!(!cells.is_empty());
+    for c in &cells {
+        assert!(
+            c.identical,
+            "AoS and columnar scans diverged at n={} threads={}",
+            c.n, c.threads
+        );
+        assert!(c.violators > 0, "fixture must produce violators");
+    }
+    let r = report::Report {
+        schema_version: report::SCHEMA_VERSION,
+        label: "columnar-quick-test".to_string(),
+        budget: "quick".to_string(),
+        cells: Vec::new(),
+        service: Vec::new(),
+        columnar: cells,
+    };
+    report::validate(&r).expect("columnar block must validate");
+    let parsed = report::Report::from_json(&r.to_json()).expect("round-trip");
+    assert_eq!(parsed, r);
 }
 
 #[test]

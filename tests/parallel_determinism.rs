@@ -2,10 +2,10 @@
 //! identical seeds, every model (RAM, streaming, coordinator, MPC) on
 //! every Section 4 instance (LP, SVM, MEB) must produce **bit-identical**
 //! solutions, iteration counts, and resource-meter readings whether the
-//! hot scans run on 1 thread or 4.
+//! hot scans run on 1 thread, 4, or 16.
 //!
 //! `threads=1` is the reference execution (same chunk grid, same ordered
-//! merge, no spawns); `threads=4` exercises the scoped workers — real
+//! merge, no spawns); `threads=4`/`16` exercise the scoped workers — real
 //! threads are spawned regardless of the host's core count, so the
 //! parallel code path is covered even on single-core CI runners. The
 //! override is per-thread (see `llp_par::with_threads`), so these tests
@@ -56,15 +56,20 @@ const SEED: u64 = 4242;
 /// reach the parallel path).
 const MPC_DELTA_BIG: f64 = 0.8;
 
-/// Runs `f` at 1 thread and at 4 threads and asserts bit-identical output.
-/// `f` must seed its own RNG so both runs start from identical state.
+/// Runs `f` at 1 thread (the reference) and at 4 and 16 threads and
+/// asserts bit-identical output. `f` must seed its own RNG so every run
+/// starts from identical state. 16 exceeds most hosts' core counts *and*
+/// many inputs' chunk counts, so the worker-starved merge order is
+/// exercised too.
 fn assert_thread_count_invariant<T: PartialEq + Debug>(label: &str, f: impl Fn() -> T) {
     let sequential = llp_par::with_threads(1, &f);
-    let parallel = llp_par::with_threads(4, &f);
-    assert_eq!(
-        sequential, parallel,
-        "{label}: threads=1 and threads=4 diverged"
-    );
+    for threads in [4usize, 16] {
+        let parallel = llp_par::with_threads(threads, &f);
+        assert_eq!(
+            sequential, parallel,
+            "{label}: threads=1 and threads={threads} diverged"
+        );
+    }
 }
 
 fn lp_instance() -> (LpProblem, Vec<Halfspace>) {
@@ -289,6 +294,114 @@ fn site_weights_scan_and_sampling_are_thread_count_invariant() {
     for threads in [2usize, 4, 16] {
         assert_eq!(run(threads), reference, "threads={threads}");
     }
+}
+
+#[test]
+fn columnar_scan_matches_aos_scan_bit_for_bit() {
+    // The SoA-vs-AoS differential at the kernel level: the columnar scan
+    // (`scan_violators_weighted_columnar` over `ConstraintColumns`) must
+    // report exactly the same violator indices and the same ScaledF64
+    // weight as the AoS scan, bit for bit, for LP/SVM/MEB at threads
+    // 1/4/16. Weights are non-uniform so the sums genuinely mix
+    // exponents, and the solution comes from a small prefix so the full
+    // set contains real violators.
+    use lodim_lp::core::lptype::{
+        scan_violators_weighted, scan_violators_weighted_columnar, ColumnarProblem,
+    };
+    use lodim_lp::sampling::weight_index::WeightIndex;
+
+    fn check<P: ColumnarProblem>(label: &str, p: &P, data: &[P::Constraint], sol: &P::Solution) {
+        let mut index = WeightIndex::uniform(data.len());
+        for i in (0..data.len()).step_by(7) {
+            index.multiply(i, 9.5);
+        }
+        for i in (0..data.len()).step_by(13) {
+            index.multiply(i, 70.0);
+        }
+        let columns = p.to_columns(data);
+        for threads in [1usize, 4, 16] {
+            let (aos_idx, aos_w) =
+                llp_par::with_threads(threads, || scan_violators_weighted(p, sol, data, &index));
+            let mut col_idx = Vec::new();
+            let col_w = llp_par::with_threads(threads, || {
+                scan_violators_weighted_columnar(p, sol, &columns, &index, &mut col_idx)
+            });
+            assert!(
+                !aos_idx.is_empty(),
+                "{label}: prefix solution should leave violators in the full set"
+            );
+            assert_eq!(
+                aos_idx, col_idx,
+                "{label} threads={threads}: violator indices diverged"
+            );
+            assert_eq!(
+                aos_w, col_w,
+                "{label} threads={threads}: violator weights diverged"
+            );
+        }
+    }
+
+    let (lp, cs) = lodim_lp::workloads::random_lp(N_BIG, 3, SEED + 90);
+    let mut rng = StdRng::seed_from_u64(SEED + 90);
+    let sol = lodim_lp::core::lptype::LpTypeProblem::solve_subset(&lp, &cs[..32], &mut rng)
+        .expect("prefix solvable");
+    check("lp", &lp, &cs, &sol);
+
+    let (svm, pts) = svm_instance();
+    let sol = lodim_lp::core::lptype::LpTypeProblem::solve_subset(&svm, &pts[..64], &mut rng)
+        .expect("prefix solvable");
+    check("svm", &svm, &pts, &sol);
+
+    let (meb, pts) = meb_instance();
+    let sol = lodim_lp::core::lptype::LpTypeProblem::solve_subset(&meb, &pts[..8], &mut rng)
+        .expect("prefix solvable");
+    check("meb", &meb, &pts, &sol);
+}
+
+#[test]
+fn scratch_solve_matches_plain_solve_bit_for_bit() {
+    // The scratch-arena entry point is a pure allocation optimization:
+    // `solve_with_scratch` (caller-built columns + reused buffers) must
+    // equal `clarkson_solve` exactly — solution, stats, everything — and
+    // reusing one scratch across consecutive solves must not leak state
+    // between them.
+    use lodim_lp::core::lptype::ColumnarProblem;
+    use lodim_lp::core::SolveScratch;
+
+    fn check<P: ColumnarProblem>(label: &str, p: &P, data: &[P::Constraint], seed: u64) {
+        let plain = || {
+            let mut rng = StdRng::seed_from_u64(seed);
+            lodim_lp::core::clarkson_solve(p, data, &ClarksonConfig::lean(2), &mut rng).unwrap()
+        };
+        let columns = p.to_columns(data);
+        let mut scratch = SolveScratch::new();
+        for round in 0..2 {
+            let scratched = llp_par::with_threads(4, || {
+                let mut rng = StdRng::seed_from_u64(seed);
+                lodim_lp::core::clarkson_solve_with_scratch(
+                    p,
+                    data,
+                    &columns,
+                    &ClarksonConfig::lean(2),
+                    &mut scratch,
+                    &mut rng,
+                )
+                .unwrap()
+            });
+            let reference = llp_par::with_threads(4, plain);
+            assert_eq!(
+                reference, scratched,
+                "{label} round {round}: scratch solve diverged from plain solve"
+            );
+        }
+    }
+
+    let (lp, cs) = lp_instance();
+    check("lp", &lp, &cs, SEED + 95);
+    let (svm, pts) = svm_instance();
+    check("svm", &svm, &pts, SEED + 96);
+    let (meb, pts) = meb_instance();
+    check("meb", &meb, &pts, SEED + 97);
 }
 
 #[test]

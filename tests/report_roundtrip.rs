@@ -6,14 +6,14 @@ use llp_bench::report::{self, Cell, Report};
 use llp_bench::RunBudget;
 use llp_workloads::scenario::{registry, Family};
 
-/// A golden v2 document, written by hand (v2 added the `service` block —
-/// v1 files no longer parse, by design: the schema version exists so
-/// consumers refuse them loudly). If a schema change breaks this parse,
-/// bump `report::SCHEMA_VERSION` and regenerate the golden — silently
-/// reinterpreting old trajectory files is the failure mode this test
-/// exists to catch.
-const GOLDEN_V2: &str = r#"{
-  "schema_version": 2,
+/// A golden v3 document, written by hand (v2 added the `service` block,
+/// v3 the `columnar` block — older files no longer parse, by design: the
+/// schema version exists so consumers refuse them loudly). If a schema
+/// change breaks this parse, bump `report::SCHEMA_VERSION` and
+/// regenerate the golden — silently reinterpreting old trajectory files
+/// is the failure mode this test exists to catch.
+const GOLDEN_V3: &str = r#"{
+  "schema_version": 3,
   "label": "golden",
   "budget": "quick",
   "cells": [
@@ -35,12 +35,18 @@ const GOLDEN_V2: &str = r#"{
       "mean_ms": 2.125, "queue_p95_ms": 1.5,
       "throughput_rps": 1990.0, "wall_ms": 200.0
     }
+  ],
+  "columnar": [
+    {
+      "n": 1000000, "threads": 4, "violators": 14000,
+      "aos_ms": 2.5, "soa_ms": 1.25, "speedup": 2.0, "identical": true
+    }
   ]
 }"#;
 
 #[test]
-fn golden_v2_document_parses() {
-    let r = Report::from_json(GOLDEN_V2).expect("golden must parse");
+fn golden_v3_document_parses() {
+    let r = Report::from_json(GOLDEN_V3).expect("golden must parse");
     assert_eq!(r.schema_version, report::SCHEMA_VERSION);
     assert_eq!(r.label, "golden");
     assert_eq!(r.budget, "quick");
@@ -57,17 +63,28 @@ fn golden_v2_document_parses() {
     assert_eq!(s.completed + s.shed + s.rejected, s.submitted);
     assert_eq!(s.cache_hits + s.solves + s.batched, s.completed);
     assert!((s.max_ms - 21.25).abs() < 1e-12);
+    assert_eq!(r.columnar.len(), 1);
+    let col = &r.columnar[0];
+    assert_eq!((col.n, col.threads, col.violators), (1_000_000, 4, 14_000));
+    assert!(col.identical);
+    assert!((col.speedup - col.aos_ms / col.soa_ms).abs() < 1e-12);
 }
 
 #[test]
-fn golden_v1_documents_are_refused() {
+fn golden_v1_and_v2_documents_are_refused() {
     // A v1-era document: no `service` block, version 1. Both the parse
     // (missing field) and any forced validate must fail — old trajectory
-    // files cannot be silently reinterpreted as v2.
-    let v1 = GOLDEN_V2
-        .replace("\"schema_version\": 2", "\"schema_version\": 1")
-        .replace("],\n  \"service\"", "],\n  \"service_gone\"");
+    // files cannot be silently reinterpreted under a newer schema.
+    let v1 = GOLDEN_V3
+        .replace("\"schema_version\": 3", "\"schema_version\": 1")
+        .replace("],\n  \"service\"", "],\n  \"service_gone\"")
+        .replace("],\n  \"columnar\"", "],\n  \"columnar_gone\"");
     assert!(Report::from_json(&v1).is_err(), "v1 shape must not parse");
+    // A v2-era document: version 2, no `columnar` block.
+    let v2 = GOLDEN_V3
+        .replace("\"schema_version\": 3", "\"schema_version\": 2")
+        .replace("],\n  \"columnar\"", "],\n  \"columnar_gone\"");
+    assert!(Report::from_json(&v2).is_err(), "v2 shape must not parse");
 }
 
 #[test]
@@ -136,6 +153,15 @@ fn report_serialize_parse_compare_is_lossless() {
             throughput_rps: 123_456.789,
             wall_ms: 2048.0,
         }],
+        columnar: vec![report::ColumnarCell {
+            n: 4_000_000,
+            threads: 16,
+            violators: 123_457,
+            aos_ms: 0.1 + 0.2, // awkward float on purpose
+            soa_ms: f64::MIN_POSITIVE,
+            speedup: 1.0e308,
+            identical: true,
+        }],
     };
     let json = report.to_json();
     let parsed = Report::from_json(&json).expect("round-trip parse");
@@ -146,7 +172,7 @@ fn report_serialize_parse_compare_is_lossless() {
 
 #[test]
 fn truncated_and_mistyped_documents_are_rejected() {
-    let good = Report::from_json(GOLDEN_V2).unwrap().to_json();
+    let good = Report::from_json(GOLDEN_V3).unwrap().to_json();
     assert!(Report::from_json(&good[..good.len() - 2]).is_err());
     assert!(Report::from_json("{}").is_err(), "missing fields");
     assert!(Report::from_json(&good.replace("\"cells\"", "\"cell\"")).is_err());

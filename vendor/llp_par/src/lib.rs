@@ -170,6 +170,66 @@ where
     tagged.into_iter().map(|(_, a)| a).collect()
 }
 
+/// Like [`par_chunks`], but over an index range instead of a slice:
+/// `map` receives each chunk's half-open `(start, end)` bounds on
+/// `0..len` and results come back **in chunk order**. This is the
+/// primitive for columnar data, where the caller owns a struct-of-arrays
+/// buffer and slices its own columns per chunk — same fixed chunk grid,
+/// same dynamic claiming, same determinism contract as `par_chunks`.
+///
+/// # Panics
+/// Panics if `chunk == 0`, or propagates the first worker panic.
+pub fn par_ranges<A, F>(len: usize, chunk: usize, map: F) -> Vec<A>
+where
+    A: Send,
+    F: Fn(usize, usize) -> A + Sync,
+{
+    assert!(chunk > 0, "chunk size must be positive");
+    if len == 0 {
+        return Vec::new();
+    }
+    let n_chunks = len.div_ceil(chunk);
+    let workers = threads().min(n_chunks);
+    if workers <= 1 || IN_WORKER.with(Cell::get) {
+        return (0..n_chunks)
+            .map(|ci| {
+                let start = ci * chunk;
+                map(start, (start + chunk).min(len))
+            })
+            .collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, A)> = Vec::with_capacity(n_chunks);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    IN_WORKER.with(|c| c.set(true));
+                    let mut out = Vec::new();
+                    loop {
+                        let ci = cursor.fetch_add(1, Ordering::Relaxed);
+                        if ci >= n_chunks {
+                            break;
+                        }
+                        let start = ci * chunk;
+                        out.push((ci, map(start, (start + chunk).min(len))));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            tagged.extend(
+                h.join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload)),
+            );
+        }
+    });
+    tagged.sort_unstable_by_key(|&(ci, _)| ci);
+    tagged.into_iter().map(|(_, a)| a).collect()
+}
+
 /// Chunked map-reduce: `map` runs per chunk (possibly in parallel), then
 /// the per-chunk results are folded with `reduce` **in chunk order** on
 /// the calling thread, starting from `identity`.
@@ -260,6 +320,33 @@ mod tests {
             with_threads(8, || par_chunks(&small, 100, |_, p| p.len())),
             vec![3]
         );
+    }
+
+    #[test]
+    fn ranges_cover_the_grid_in_order() {
+        let parts = with_threads(4, || par_ranges(10_000, 256, |s, e| (s, e)));
+        let mut expect = 0;
+        for (s, e) in parts {
+            assert_eq!(s, expect);
+            assert!(e > s && e - s <= 256);
+            expect = e;
+        }
+        assert_eq!(expect, 10_000);
+        assert_eq!(par_ranges(0, 8, |s, e| (s, e)), Vec::new());
+    }
+
+    #[test]
+    fn ranges_match_par_chunks_grid_exactly() {
+        // The columnar scan relies on par_ranges carving the same chunk
+        // boundaries par_chunks does, for any length.
+        let data = vec![0u8; 10_001];
+        for len in [1usize, 255, 256, 257, 10_001] {
+            let by_slice = with_threads(3, || {
+                par_chunks(&data[..len], 256, |off, part| (off, off + part.len()))
+            });
+            let by_range = with_threads(3, || par_ranges(len, 256, |s, e| (s, e)));
+            assert_eq!(by_slice, by_range, "len={len}");
+        }
     }
 
     #[test]
