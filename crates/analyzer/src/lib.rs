@@ -18,9 +18,14 @@
 //! | `wall-clock` | deny | deterministic + timing crates |
 //! | `env-read` | deny | everywhere but `vendor/llp_par` |
 //! | `unseeded-rng` | deny | deterministic + timing crates |
-//! | `lock-order` | deny | any crate with a `Mutex` |
+//! | `lock-order` | deny | any crate with a `Mutex` (interprocedural) |
+//! | `panic-path` | deny | panic-capable sites reachable under a guard |
+//! | `fp-kernel-purity` | deny | KERNEL_FILES' transitive call trees |
 //! | `hot-loop-alloc` | deny | the violation-scan kernels |
 //! | `missing-forbid-unsafe` | deny | every crate root |
+//!
+//! The three interprocedural lints run over a workspace-wide call graph
+//! with SCC-fixpoint summaries ([`callgraph`]); see DESIGN.md §8.
 //!
 //! Suppressions are reasoned, line-targeted comments:
 //!
@@ -34,12 +39,15 @@
 //! starts `// llp-analyzer:` but does not parse is `malformed-allow` —
 //! suppressions cannot silently rot.
 
+pub mod callgraph;
 pub mod lexer;
 pub mod lints;
 pub mod lockorder;
 pub mod policy;
+pub mod purity;
 pub mod report;
 
+use callgraph::{CallGraph, FileMeta};
 use lexer::{lex, Lexed};
 use policy::{Class, CrateSpec};
 use report::{AnalyzerReport, Finding, Severity};
@@ -146,33 +154,52 @@ pub struct Analysis {
 pub fn analyze_crates(crates: &[CrateSpec]) -> Analysis {
     let mut findings: Vec<Finding> = Vec::new();
     let mut allows_by_file: BTreeMap<String, Vec<Allow>> = BTreeMap::new();
-    let mut files_scanned = 0u64;
 
-    for spec in crates {
-        let lexed_files: Vec<(String, Lexed)> = spec
-            .files
-            .iter()
-            .map(|f| (f.path.clone(), lex(&f.text)))
-            .collect();
-        files_scanned += lexed_files.len() as u64;
+    // Lex every file once; the flat list feeds both the per-file lints
+    // and the workspace-wide call graph.
+    let lexed_files: Vec<(&CrateSpec, String, Lexed)> = crates
+        .iter()
+        .flat_map(|spec| {
+            spec.files
+                .iter()
+                .map(move |f| (spec, f.path.clone(), lex(&f.text)))
+        })
+        .collect();
+    let files_scanned = lexed_files.len() as u64;
 
-        for (path, lexed) in &lexed_files {
-            let (allows, malformed) = parse_allows(path, lexed);
-            findings.extend(malformed);
-            allows_by_file
-                .entry(path.clone())
-                .or_default()
-                .extend(allows);
-            findings.extend(lints::scan_file(path, lexed, spec.class, &spec.key));
-            if spec.root_files.contains(path) {
-                findings.extend(lints::check_forbid_unsafe(path, lexed));
-            }
-        }
-        // Lock-order needs the whole crate at once (call propagation).
-        if spec.class != Class::VendorExempt {
-            findings.extend(lockorder::analyze_crate(&lexed_files));
+    for (spec, path, lexed) in &lexed_files {
+        let (allows, malformed) = parse_allows(path, lexed);
+        findings.extend(malformed);
+        allows_by_file
+            .entry(path.clone())
+            .or_default()
+            .extend(allows);
+        findings.extend(lints::scan_file(path, lexed, spec.class, &spec.key));
+        if spec.root_files.contains(path) {
+            findings.extend(lints::check_forbid_unsafe(path, lexed));
         }
     }
+
+    // The interprocedural passes see every non-vendor crate at once:
+    // lock-order cycles, blocking-under-guard, and panic paths are
+    // detected across crate boundaries (service → core), and kernel
+    // purity follows calls wherever they lead.
+    let graph = CallGraph::build(
+        lexed_files
+            .iter()
+            .filter(|(spec, _, _)| spec.class != Class::VendorExempt)
+            .map(|(spec, path, lexed)| FileMeta {
+                path,
+                crate_key: &spec.key,
+                lexed,
+            })
+            .collect(),
+    );
+    findings.extend(lockorder::analyze_graph(
+        &graph,
+        lockorder::Depth::Transitive,
+    ));
+    findings.extend(purity::analyze_graph(&graph));
 
     // Apply suppressions: a finding is suppressed by an allow of its lint
     // targeting its line in its file.

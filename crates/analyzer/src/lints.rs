@@ -18,6 +18,8 @@ pub const LINT_NAMES: &[&str] = &[
     "env-read",
     "unseeded-rng",
     "lock-order",
+    "panic-path",
+    "fp-kernel-purity",
     "hot-loop-alloc",
     "missing-forbid-unsafe",
     "unused-allow",

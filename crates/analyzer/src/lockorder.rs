@@ -1,51 +1,57 @@
-//! Static lock-order analysis: the mutex-acquisition graph of a crate.
+//! Interprocedural lock-order and panic-path analysis over the
+//! workspace call graph.
 //!
 //! ROADMAP item 4 (sharded admission queues + work-stealing) will
-//! multiply `llp_service`'s lock surface; this pass exists *before* that
-//! refactor so cycles and blocking-while-locked patterns are caught at
-//! lint time, not in a soak run. Three steps:
+//! multiply `llp_service`'s lock surface; this pass exists *before*
+//! that refactor so cycles, blocking-while-locked, and
+//! panic-while-locked patterns are caught at lint time, not in a soak
+//! run. The guard model is intraprocedural and linear:
 //!
-//! 1. **Mutex discovery** — struct fields and `let` bindings of type
-//!    `Mutex<…>` name the lockable objects (`state: Mutex<State>` →
-//!    mutex `state`).
-//! 2. **Per-function acquisition scan** — a guard model tracks what is
-//!    held where: `let g = foo.lock()` holds `foo` until `drop(g)` or the
-//!    end of the binding's block; an unbound `.lock()` (a statement
-//!    temporary) is released at the next `;` at the same depth.
-//!    `Condvar::wait(g)` keeps the guard held (it re-acquires before
-//!    returning). Acquisitions are propagated **one call-graph level**:
-//!    calling a function that itself directly acquires counts as
-//!    acquiring (so `self.lock()` wrappers participate).
-//! 3. **Graph checks** — acquiring B while A is held adds edge A→B.
-//!    A cycle in the edge set (including A→A re-entry, an instant
-//!    deadlock with std's non-reentrant `Mutex`) is a deny finding, as is
-//!    holding any lock across a blocking operation (channel `send`/
-//!    `recv`, `join`, or a solve: `solve*`/`execute` calls).
+//! - `let g = foo.lock()` holds `foo` until `drop(g)` or the end of the
+//!   binding's block; an unbound `.lock()` (a statement temporary) is
+//!   released at the next `;` at the same depth. `Condvar::wait(g)`
+//!   keeps the guard held (it re-acquires before returning).
+//! - Calls consult the [`CallGraph`] summaries: a call to a function
+//!   whose **transitive** call tree acquires `m` counts as acquiring
+//!   `m` here ([`Depth::Transitive`] — the fixpoint over SCCs). The
+//!   acquisition is held past the statement only when the callee's
+//!   signature returns a guard type (`-> MutexGuard<…>` wrappers);
+//!   otherwise the callee released it before returning and it edges as
+//!   a statement temporary.
+//! - [`Depth::OneLevel`] replays the pre-engine behavior (immediate
+//!   callees' *direct* acquisitions only) and exists so a regression
+//!   test can prove the fixpoint catches cycles one level missed.
+//!
+//! Findings (all deny-tier):
+//!
+//! - `lock-order`: acquiring B while A is held adds edge A→B; a cycle
+//!   in the workspace-wide edge set (including A→A re-entry, an
+//!   instant deadlock with std's non-reentrant `Mutex`) is a finding,
+//!   as is reaching a blocking operation (channel `send`/`recv`,
+//!   `join`, a solve) while holding — now through any call depth, with
+//!   the witness chain in the message.
+//! - `panic-path`: a panic-capable site (`unwrap`/`expect`/
+//!   `panic!`-family/indexing) executed, or reachable through calls,
+//!   while a guard is held. A panic there poisons the mutex and every
+//!   later `lock().expect(…)` cascades. `.unwrap()`/`.expect()` chained
+//!   directly onto `lock()`/`wait*()` is exempt: that is poison
+//!   *plumbing* — it can only panic if the mutex is already poisoned,
+//!   never the origin of the poisoning.
 
-use crate::lexer::{Lexed, Tok, TokKind};
+use crate::callgraph::{is_blocking_call, is_keyword, is_poison_plumbing, CallGraph};
+use crate::lexer::{Tok, TokKind};
 use crate::report::{Finding, Severity};
 use std::collections::{BTreeMap, BTreeSet};
 
-/// Call-shaped identifiers that block (or are unboundedly expensive) and
-/// must not run under a held lock.
-fn is_blocking_call(name: &str) -> bool {
-    name == "send"
-        || name == "recv"
-        || name == "recv_timeout"
-        || name == "join"
-        || name == "execute"
-        || name.starts_with("solve")
-}
-
-/// Per-function facts from the first pass.
-#[derive(Clone, Debug, Default)]
-struct FnFacts {
-    /// Mutexes the body acquires directly (for one-level propagation).
-    /// A set, not a sequence: a callee that locks, releases, and re-locks
-    /// the same mutex acquires it *once* from the caller's perspective —
-    /// propagated acquisitions edge against the caller's held set, never
-    /// against each other.
-    direct: BTreeSet<String>,
+/// How far acquisitions propagate through calls.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Depth {
+    /// Immediate callees' direct acquisitions only — the historical
+    /// one-level behavior, kept as a regression baseline.
+    OneLevel,
+    /// Full fixpoint summaries: acquisition, blocking, and panic facts
+    /// from the entire transitive call tree.
+    Transitive,
 }
 
 /// A lock currently held during the linear scan of a body.
@@ -60,166 +66,53 @@ struct Held {
     temp: bool,
 }
 
-/// Runs the analysis over all files of one crate. `path_of` each file is
-/// used in findings.
-pub fn analyze_crate(files: &[(String, Lexed)]) -> Vec<Finding> {
-    let mut mutexes: BTreeSet<String> = BTreeSet::new();
-    for (_, lexed) in files {
-        discover_mutexes(&lexed.toks, &mut mutexes);
-    }
-    if mutexes.is_empty() {
+/// Acquisition-order edges: (held, acquired) → first witness (path, line).
+type Edges = BTreeMap<(String, String), (String, u32)>;
+
+/// Runs lock-order (and, at [`Depth::Transitive`], panic-path) over the
+/// whole graph. Edges from every function land in one workspace-wide
+/// set, so cycles split across crates are still cycles.
+pub fn analyze_graph(g: &CallGraph<'_>, depth: Depth) -> Vec<Finding> {
+    if g.mutexes.is_empty() {
         return Vec::new();
     }
-
-    // Pass 1: per-function direct acquisitions (for call propagation).
-    let mut facts: BTreeMap<String, FnFacts> = BTreeMap::new();
-    for (path, lexed) in files {
-        for (name, body) in functions(&lexed.toks) {
-            let mut f = FnFacts::default();
-            scan_body(path, body, &mutexes, &BTreeMap::new(), Some(&mut f), None);
-            facts.entry(name).or_insert(f);
-        }
-    }
-
-    // Pass 2: full scan with one-level propagation; collect edges and
-    // blocking-while-held findings.
     let mut findings = Vec::new();
-    let mut edges: BTreeMap<(String, String), (String, u32)> = BTreeMap::new();
-    for (path, lexed) in files {
-        for (_, body) in functions(&lexed.toks) {
-            scan_body(
-                path,
-                body,
-                &mutexes,
-                &facts,
-                None,
-                Some((&mut edges, &mut findings)),
-            );
-        }
+    let mut edges: Edges = BTreeMap::new();
+    for d in 0..g.defs.len() {
+        scan_def(g, d, depth, &mut edges, &mut findings);
     }
-
-    // Cycle detection over the acquisition-order graph.
     findings.extend(find_cycles(&edges));
     findings
 }
 
-/// Collects mutex names: `name : Mutex <` fields/params and
-/// `let name = Mutex :: new` bindings.
-fn discover_mutexes(toks: &[Tok], out: &mut BTreeSet<String>) {
-    for i in 0..toks.len() {
-        if toks[i].kind != TokKind::Ident {
-            continue;
-        }
-        if toks[i].text == "Mutex" {
-            // `name: Mutex<…>` (struct field or param).
-            if i >= 2 && toks[i - 1].text == ":" && toks[i - 2].kind == TokKind::Ident {
-                out.insert(toks[i - 2].text.clone());
-            }
-            // `let name = Mutex::new(…)` / `let name = Arc::new(Mutex::new(…))`
-            // — walk back past `Arc :: new (` to the `let`.
-            let mut j = i;
-            while j >= 1
-                && (toks[j - 1].kind == TokKind::Punct
-                    || toks[j - 1].text == "Arc"
-                    || toks[j - 1].text == "new")
-                && toks[j - 1].text != ";"
-                && toks[j - 1].text != "{"
-            {
-                j -= 1;
-            }
-            let plain_let =
-                j >= 2 && toks[j - 1].kind == TokKind::Ident && toks[j - 2].text == "let";
-            let mut_let = j >= 3
-                && toks[j - 1].kind == TokKind::Ident
-                && toks[j - 2].text == "mut"
-                && toks[j - 3].text == "let";
-            if plain_let || mut_let {
-                out.insert(toks[j - 1].text.clone());
-            }
-        }
-    }
-}
-
-/// Splits a token stream into `fn` bodies: returns `(name, body_tokens)`
-/// for every function, where `body_tokens` is the token slice between the
-/// body's outer braces (inclusive of nested ones).
-fn functions(toks: &[Tok]) -> Vec<(String, &[Tok])> {
-    let mut out = Vec::new();
-    let mut i = 0usize;
-    while i < toks.len() {
-        if toks[i].kind == TokKind::Ident && toks[i].text == "fn" {
-            if let Some(name_tok) = toks.get(i + 1) {
-                let name = name_tok.text.clone();
-                // Find the body `{` — skip the signature (param parens,
-                // return type, where clause) by scanning for the first
-                // `{` at angle/paren depth 0. `;` first → trait method
-                // declaration, no body.
-                let mut j = i + 2;
-                let mut paren: i32 = 0;
-                let mut body_start = None;
-                while j < toks.len() {
-                    match toks[j].text.as_str() {
-                        "(" | "[" => paren += 1,
-                        ")" | "]" => paren -= 1,
-                        "{" if paren == 0 => {
-                            body_start = Some(j);
-                            break;
-                        }
-                        ";" if paren == 0 => break,
-                        _ => {}
-                    }
-                    j += 1;
-                }
-                if let Some(start) = body_start {
-                    let mut depth = 0i32;
-                    let mut k = start;
-                    while k < toks.len() {
-                        match toks[k].text.as_str() {
-                            "{" => depth += 1,
-                            "}" => {
-                                depth -= 1;
-                                if depth == 0 {
-                                    break;
-                                }
-                            }
-                            _ => {}
-                        }
-                        k += 1;
-                    }
-                    out.push((name, &toks[start..(k + 1).min(toks.len())]));
-                    i = k + 1;
-                    continue;
-                }
-            }
-        }
-        i += 1;
-    }
-    out
-}
-
-type EdgeSink<'a> = (
-    &'a mut BTreeMap<(String, String), (String, u32)>,
-    &'a mut Vec<Finding>,
-);
-
-/// Linear scan of one function body with the guard model. In pass 1
-/// (`collect` = Some) it only records direct acquisitions; in pass 2
-/// (`sink` = Some) it also consults `facts` for one-level call
-/// propagation, emits hold-order edges, and flags blocking calls made
-/// while holding.
-fn scan_body(
-    path: &str,
-    body: &[Tok],
-    mutexes: &BTreeSet<String>,
-    facts: &BTreeMap<String, FnFacts>,
-    mut collect: Option<&mut FnFacts>,
-    mut sink: Option<EdgeSink<'_>>,
+/// Scans one definition's body with the guard model.
+fn scan_def(
+    g: &CallGraph<'_>,
+    d: usize,
+    depth_mode: Depth,
+    edges: &mut Edges,
+    findings: &mut Vec<Finding>,
 ) {
+    let def = &g.defs[d];
+    let file = &g.files[def.file];
+    let toks: &[Tok] = &file.lexed.toks;
+    let path = file.path;
+    let nested = &g.nested[d];
+    let site_at: BTreeMap<usize, usize> = g.calls[d]
+        .iter()
+        .enumerate()
+        .map(|(si, s)| (s.tok, si))
+        .collect();
+
     let mut depth: i32 = 0;
     let mut held: Vec<Held> = Vec::new();
-    let mut i = 0usize;
-    while i < body.len() {
-        let t = &body[i];
+    let mut i = def.body.0;
+    while i <= def.body.1 && i < toks.len() {
+        if let Some(&(_, end)) = nested.iter().find(|(s, _)| *s == i) {
+            i = end + 1;
+            continue;
+        }
+        let t = &toks[i];
         match (t.kind, t.text.as_str()) {
             (TokKind::Punct, "{") => depth += 1,
             (TokKind::Punct, "}") => {
@@ -229,15 +122,35 @@ fn scan_body(
             (TokKind::Punct, ";") => {
                 held.retain(|h| !(h.temp && h.depth == depth));
             }
+            // `expr[…]` indexing while holding: panic-capable.
+            (TokKind::Punct, "[") if depth_mode == Depth::Transitive && !held.is_empty() => {
+                let p = &toks[i - 1];
+                let indexing = (p.kind == TokKind::Ident && !is_keyword(&p.text))
+                    || p.text == ")"
+                    || p.text == "]";
+                if indexing {
+                    findings.push(panic_finding(path, t.line, "indexing", &held));
+                }
+            }
             // `drop(g)` releases guard g.
-            (TokKind::Ident, "drop") if body.get(i + 1).is_some_and(|n| n.text == "(") => {
-                if let Some(g) = body.get(i + 2) {
-                    held.retain(|h| h.guard.as_deref() != Some(g.text.as_str()));
+            (TokKind::Ident, "drop") if toks.get(i + 1).is_some_and(|n| n.text == "(") => {
+                if let Some(gv) = toks.get(i + 2) {
+                    held.retain(|h| h.guard.as_deref() != Some(gv.text.as_str()));
                 }
             }
             (TokKind::Ident, name) => {
-                let is_call = body.get(i + 1).is_some_and(|n| n.text == "(");
-                if !is_call {
+                // `panic!`-family while holding.
+                if matches!(name, "panic" | "unreachable" | "todo" | "unimplemented")
+                    && toks.get(i + 1).is_some_and(|n| n.text == "!")
+                {
+                    if depth_mode == Depth::Transitive && !held.is_empty() {
+                        findings.push(panic_finding(path, t.line, &format!("`{name}!`"), &held));
+                    }
+                    i += 2;
+                    continue;
+                }
+                let is_call = toks.get(i + 1).is_some_and(|n| n.text == "(");
+                if !is_call || is_keyword(name) || (i >= 1 && toks[i - 1].text == "fn") {
                     i += 1;
                     continue;
                 }
@@ -247,59 +160,133 @@ fn scan_body(
                     i += 1;
                     continue;
                 }
+                // `.unwrap()`/`.expect()` while holding — unless it is
+                // poison plumbing on the `lock()`/`wait()` itself.
+                if matches!(name, "unwrap" | "expect") && i >= 1 && toks[i - 1].text == "." {
+                    if depth_mode == Depth::Transitive
+                        && !held.is_empty()
+                        && !is_poison_plumbing(toks, i)
+                    {
+                        findings.push(panic_finding(path, t.line, &format!(".{name}()"), &held));
+                    }
+                    i += 1;
+                    continue;
+                }
                 // `recv.lock()` — a direct acquisition when the
                 // receiver's last path segment is a known mutex.
                 if name == "lock"
                     && i >= 2
-                    && body[i - 1].text == "."
-                    && mutexes.contains(body[i - 2].text.as_str())
+                    && toks[i - 1].text == "."
+                    && g.mutexes.contains(toks[i - 2].text.as_str())
                 {
-                    let mutex = body[i - 2].text.clone();
+                    let mutex = toks[i - 2].text.clone();
                     acquire(
-                        path,
-                        body,
-                        i,
-                        depth,
-                        &mutex,
-                        &mut held,
-                        &mut collect,
-                        &mut sink,
+                        path, toks, def.body.0, i, depth, &mutex, true, None, &mut held, edges,
+                        findings,
                     );
                     i += 1;
                     continue;
                 }
                 if !held.is_empty() && is_blocking_call(name) {
-                    if let Some((_, findings)) = sink.as_mut() {
-                        let held_names: Vec<&str> = held.iter().map(|h| h.mutex.as_str()).collect();
-                        findings.push(Finding::new(
-                            "lock-order",
-                            Severity::Deny,
-                            path,
-                            t.line,
-                            format!(
-                                "blocking call `{name}(…)` while holding lock(s) \
-                                 {held_names:?}; release the guard first (or allow \
-                                 with the reason the call cannot block)"
-                            ),
-                        ));
-                    }
+                    let held_names: Vec<&str> = held.iter().map(|h| h.mutex.as_str()).collect();
+                    findings.push(Finding::new(
+                        "lock-order",
+                        Severity::Deny,
+                        path,
+                        t.line,
+                        format!(
+                            "blocking call `{name}(…)` while holding lock(s) \
+                             {held_names:?}; release the guard first (or allow \
+                             with the reason the call cannot block)"
+                        ),
+                    ));
                 }
-                // One-level call propagation: a direct call to a crate
-                // function (incl. `self.lock()`-style wrappers) that
-                // itself acquires.
-                if sink.is_some() {
-                    if let Some(f) = facts.get(name) {
-                        for acq in f.direct.clone() {
-                            acquire(
+                // Resolved call: propagate callee facts. The blocking/
+                // panic checks use the held set from *before* this
+                // call's own propagated acquisitions — what the callee
+                // does internally under its own locks is scanned in the
+                // callee; the caller is on the hook only for locks it
+                // already held at the call.
+                if let Some(&si) = site_at.get(&i) {
+                    let site = &g.calls[d][si];
+                    let held_before: Vec<String> = held.iter().map(|h| h.mutex.clone()).collect();
+                    let mut acquires: BTreeSet<&str> = BTreeSet::new();
+                    let mut returns_guard = false;
+                    for &c in &site.callees {
+                        let set = match depth_mode {
+                            Depth::OneLevel => &g.direct_acquires[c],
+                            Depth::Transitive => &g.summaries[c].acquires,
+                        };
+                        acquires.extend(set.iter().map(|s| s.as_str()));
+                        returns_guard |= g.defs[c].returns_guard;
+                    }
+                    // `let x = self.lock().field.clone();` — the guard
+                    // is consumed inside the statement; the `let` binds
+                    // the chained result, so the hold ends at the `;`.
+                    let binds_guard = returns_guard && !call_is_chained(toks, i);
+                    let held_len = held.len();
+                    for m in acquires {
+                        let mutex = m.to_string();
+                        acquire(
+                            path,
+                            toks,
+                            def.body.0,
+                            i,
+                            depth,
+                            &mutex,
+                            binds_guard,
+                            Some(name),
+                            &mut held,
+                            edges,
+                            findings,
+                        );
+                    }
+                    // A callee that does not hand back a guard released
+                    // every lock it took before returning: the edges and
+                    // re-entry checks above are the whole story, and the
+                    // caller's held set reverts to what it was.
+                    if !returns_guard {
+                        held.truncate(held_len);
+                    }
+                    if depth_mode == Depth::Transitive && !held_before.is_empty() {
+                        let held_names = &held_before;
+                        if !is_blocking_call(name) {
+                            if let Some(&c) = site
+                                .callees
+                                .iter()
+                                .find(|&&c| g.summaries[c].blocks.is_some())
+                            {
+                                let chain = g.render_chain(c, |s| s.blocks.as_ref());
+                                findings.push(Finding::new(
+                                    "lock-order",
+                                    Severity::Deny,
+                                    path,
+                                    t.line,
+                                    format!(
+                                        "call to `{name}(…)` reaches a blocking operation \
+                                         while holding lock(s) {held_names:?} ({chain}); \
+                                         release the guard first"
+                                    ),
+                                ));
+                            }
+                        }
+                        if let Some(&c) = site
+                            .callees
+                            .iter()
+                            .find(|&&c| g.summaries[c].panics.is_some())
+                        {
+                            let chain = g.render_chain(c, |s| s.panics.as_ref());
+                            findings.push(Finding::new(
+                                "panic-path",
+                                Severity::Deny,
                                 path,
-                                body,
-                                i,
-                                depth,
-                                &acq,
-                                &mut held,
-                                &mut collect,
-                                &mut sink,
-                            );
+                                t.line,
+                                format!(
+                                    "call to `{name}(…)` may panic while holding lock(s) \
+                                     {held_names:?} ({chain}); a panic here poisons the \
+                                     mutex for every other thread"
+                                ),
+                            ));
                         }
                     }
                 }
@@ -310,47 +297,65 @@ fn scan_body(
     }
 }
 
+/// One `panic-path` finding at a direct site.
+fn panic_finding(path: &str, line: u32, what: &str, held: &[Held]) -> Finding {
+    let held_names: Vec<&str> = held.iter().map(|h| h.mutex.as_str()).collect();
+    Finding::new(
+        "panic-path",
+        Severity::Deny,
+        path,
+        line,
+        format!(
+            "{what} while holding lock(s) {held_names:?}; a panic here poisons \
+             the mutex for every other thread — return an error or shed instead"
+        ),
+    )
+}
+
 /// Records one acquisition at token index `i`: emits hold-order edges
-/// against everything currently held, then pushes the new guard
-/// (let-bound or statement-temporary, per the surrounding tokens).
+/// against everything currently held, then pushes the new guard.
+/// Propagated acquisitions (`via` = callee name) bind to a `let` only
+/// when the callee returns a guard type; otherwise the callee released
+/// the lock before returning and the hold ends at the statement.
 #[allow(clippy::too_many_arguments)]
 fn acquire(
     path: &str,
-    body: &[Tok],
+    toks: &[Tok],
+    body_start: usize,
     i: usize,
     depth: i32,
     mutex: &str,
+    holds_on: bool,
+    via: Option<&str>,
     held: &mut Vec<Held>,
-    collect: &mut Option<&mut FnFacts>,
-    sink: &mut Option<EdgeSink<'_>>,
+    edges: &mut Edges,
+    findings: &mut Vec<Finding>,
 ) {
-    let line = body[i].line;
-    if let Some(f) = collect.as_mut() {
-        f.direct.insert(mutex.to_string());
-    }
-    if let Some((edges, findings)) = sink.as_mut() {
-        for h in held.iter() {
-            if h.mutex == mutex {
-                findings.push(Finding::new(
-                    "lock-order",
-                    Severity::Deny,
-                    path,
-                    line,
-                    format!(
-                        "re-acquiring `{mutex}` while already held: std::sync::Mutex \
-                         is non-reentrant; this deadlocks"
-                    ),
-                ));
-            } else {
-                edges
-                    .entry((h.mutex.clone(), mutex.to_string()))
-                    .or_insert_with(|| (path.to_string(), line));
-            }
+    let line = toks[i].line;
+    for h in held.iter() {
+        if h.mutex == mutex {
+            let how = via.map_or(String::new(), |v| format!(" (via call to `{v}(…)`)"));
+            findings.push(Finding::new(
+                "lock-order",
+                Severity::Deny,
+                path,
+                line,
+                format!(
+                    "re-acquiring `{mutex}` while already held{how}: \
+                     std::sync::Mutex is non-reentrant; this deadlocks"
+                ),
+            ));
+        } else {
+            edges
+                .entry((h.mutex.clone(), mutex.to_string()))
+                .or_insert_with(|| (path.to_string(), line));
         }
     }
-    // Binding shape: walk back from the receiver to the statement start;
-    // `let [mut] g = …` binds guard g.
-    let guard = guard_binding(body, i);
+    let guard = if holds_on {
+        guard_binding(toks, body_start, i)
+    } else {
+        None
+    };
     let temp = guard.is_none();
     held.push(Held {
         mutex: mutex.to_string(),
@@ -360,21 +365,65 @@ fn acquire(
     });
 }
 
-/// Finds the `let [mut] g =` binding a `.lock()` at token `i` flows into,
-/// scanning back to the start of the statement.
-fn guard_binding(body: &[Tok], i: usize) -> Option<String> {
+/// True when the call whose name is at token `i` has its return value
+/// method-chained (`self.lock().latencies_ms…`): a returned guard is
+/// then a statement temporary, not the `let` binding's value. Poison
+/// plumbing (`.unwrap()` / `.expect(…)`) is transparent — it unwraps
+/// the guard rather than consuming it.
+fn call_is_chained(toks: &[Tok], i: usize) -> bool {
+    let mut j = i + 1;
+    if toks.get(j).map(|t| t.text.as_str()) != Some("(") {
+        return false;
+    }
+    loop {
+        // Walk to the matching close paren of the call at `j`.
+        let mut depth = 0i32;
+        while j < toks.len() {
+            match toks[j].text.as_str() {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if j >= toks.len() {
+            return false;
+        }
+        // Skip transparent `.unwrap()` / `.expect(…)` links.
+        if toks.get(j + 1).map(|t| t.text.as_str()) == Some(".")
+            && toks
+                .get(j + 2)
+                .is_some_and(|t| t.text == "unwrap" || t.text == "expect")
+            && toks.get(j + 3).map(|t| t.text.as_str()) == Some("(")
+        {
+            j += 3;
+            continue;
+        }
+        return toks.get(j + 1).map(|t| t.text.as_str()) == Some(".");
+    }
+}
+
+/// Finds the `let [mut] g =` binding a `.lock()` at token `i` flows
+/// into, scanning back to the start of the statement (never past the
+/// body's opening brace).
+fn guard_binding(toks: &[Tok], body_start: usize, i: usize) -> Option<String> {
     let mut j = i;
-    while j > 0 {
-        let t = &body[j - 1];
+    while j > body_start {
+        let t = &toks[j - 1];
         if t.text == ";" || t.text == "{" || t.text == "}" {
             return None;
         }
         if t.text == "let" {
             // `let g = …` or `let mut g = …` or `let (a, b) = …` (a
             // destructuring bind — treat the tuple as unnamed: temp).
-            let g = body.get(j).filter(|t| t.kind == TokKind::Ident)?;
+            let g = toks.get(j).filter(|t| t.kind == TokKind::Ident)?;
             if g.text == "mut" {
-                return body.get(j + 1).map(|t| t.text.clone());
+                return toks.get(j + 1).map(|t| t.text.clone());
             }
             return Some(g.text.clone());
         }
@@ -385,7 +434,7 @@ fn guard_binding(body: &[Tok], i: usize) -> Option<String> {
 
 /// DFS cycle detection over the acquisition-order edges; each cycle is
 /// reported once, anchored at its lexicographically first node.
-fn find_cycles(edges: &BTreeMap<(String, String), (String, u32)>) -> Vec<Finding> {
+fn find_cycles(edges: &Edges) -> Vec<Finding> {
     let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
     for (a, b) in edges.keys() {
         adj.entry(a.as_str()).or_default().push(b.as_str());
@@ -431,10 +480,28 @@ fn find_cycles(edges: &BTreeMap<(String, String), (String, u32)>) -> Vec<Finding
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::lexer::lex;
+    use crate::callgraph::FileMeta;
+    use crate::lexer::{lex, Lexed};
+
+    fn run_files(files: &[(String, Lexed)], depth: Depth) -> Vec<Finding> {
+        let g = CallGraph::build(
+            files
+                .iter()
+                .map(|(p, l)| FileMeta {
+                    path: p,
+                    crate_key: "x",
+                    lexed: l,
+                })
+                .collect(),
+        );
+        analyze_graph(&g, depth)
+    }
 
     fn run(src: &str) -> Vec<Finding> {
-        analyze_crate(&[("crates/x/src/lib.rs".to_string(), lex(src))])
+        run_files(
+            &[("crates/x/src/lib.rs".to_string(), lex(src))],
+            Depth::Transitive,
+        )
     }
 
     #[test]
@@ -485,7 +552,7 @@ mod tests {
     }
 
     #[test]
-    fn wrapper_fn_propagates_one_level() {
+    fn wrapper_fn_propagates() {
         let src = "
             struct S { state: Mutex<u32> }
             fn lock_state(s: &S) -> MutexGuard<u32> { s.state.lock() }
@@ -527,5 +594,109 @@ mod tests {
             fn f(s: &S) { let mut g = s.state.lock(); g = s.cond.wait(g); }
         ";
         assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    /// Lock order split across three call levels and two files: the
+    /// one-level baseline cannot see that `entry_left` transitively
+    /// acquires `b` under `a`, so only the fixpoint engine reports the
+    /// a→b→a cycle.
+    fn deep_cycle_files() -> Vec<(String, Lexed)> {
+        vec![
+            (
+                "crates/x/src/left.rs".to_string(),
+                lex("
+                    struct S { a: Mutex<u32>, b: Mutex<u32> }
+                    fn entry_left(s: &S) { let ga = s.a.lock(); step1(s); }
+                    fn step1(s: &S) { step2(s); }
+                "),
+            ),
+            (
+                "crates/x/src/right.rs".to_string(),
+                lex("
+                    fn step2(s: &S) { let gb = s.b.lock(); }
+                    fn entry_right(s: &S) { let gb = s.b.lock(); let ga = s.a.lock(); }
+                "),
+            ),
+        ]
+    }
+
+    #[test]
+    fn three_deep_cross_file_cycle_is_caught_transitively() {
+        let f = run_files(&deep_cycle_files(), Depth::Transitive);
+        assert!(
+            f.iter()
+                .any(|x| x.lint == "lock-order" && x.message.contains("cycle")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn one_level_propagation_misses_the_deep_cycle() {
+        let f = run_files(&deep_cycle_files(), Depth::OneLevel);
+        assert!(
+            !f.iter().any(|x| x.message.contains("cycle")),
+            "one-level baseline unexpectedly caught the deep cycle: {f:?}"
+        );
+    }
+
+    #[test]
+    fn unwrap_under_guard_is_a_panic_path() {
+        let src = "
+            struct S { state: Mutex<State> }
+            fn f(s: &S) { let g = s.state.lock().unwrap(); g.map.get(&1).unwrap(); }
+        ";
+        let f = run(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].lint, "panic-path");
+        assert!(f[0].message.contains(".unwrap()"), "{f:?}");
+    }
+
+    #[test]
+    fn poison_plumbing_is_not_a_panic_path() {
+        let src = "
+            struct S { state: Mutex<State>, cond: Condvar }
+            fn f(s: &S) { let mut g = s.state.lock().expect(\"poisoned\"); g = s.cond.wait(g).expect(\"poisoned\"); }
+        ";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn callee_panic_fires_at_the_guarded_call_site_with_chain() {
+        let src = "
+            struct S { state: Mutex<State> }
+            fn helper(v: &[u32]) -> u32 { v[0] }
+            fn mid(v: &[u32]) -> u32 { helper(v) }
+            fn f(s: &S, v: &[u32]) { let g = s.state.lock(); mid(v); }
+        ";
+        let f = run(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].lint, "panic-path");
+        assert!(f[0].message.contains("mid"), "{f:?}");
+        assert!(f[0].message.contains("helper"), "{f:?}");
+    }
+
+    #[test]
+    fn panic_after_release_is_clean() {
+        let src = "
+            struct S { state: Mutex<State> }
+            fn f(s: &S, v: &[u32]) { { let g = s.state.lock(); } v.first().unwrap(); }
+        ";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn transitive_blocking_fires_through_a_wrapper() {
+        let src = "
+            struct S { state: Mutex<u32> }
+            fn notify(tx: &Sender<u32>) { tx.send(1); }
+            fn f(s: &S, tx: &Sender<u32>) { let g = s.state.lock(); notify(tx); }
+        ";
+        let f = run(src);
+        assert!(
+            f.iter().any(|x| x.lint == "lock-order"
+                && x.message.contains("reaches a blocking operation")
+                && x.message.contains("notify")),
+            "{f:?}"
+        );
     }
 }

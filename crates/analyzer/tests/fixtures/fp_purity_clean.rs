@@ -1,0 +1,5 @@
+//! Clean twin of `fp_purity_firing.rs`: the same helper shape with a
+//! deterministic mix instead of a clock read.
+pub fn jitter_scale(x: u64) -> u64 {
+    x.wrapping_mul(0x9E37_79B9)
+}

@@ -1,0 +1,7 @@
+//! Firing helper for fp-kernel-purity: a function the FP kernel calls
+//! that reads the wall clock. The kernel file itself stays clean — the
+//! impurity is only visible through the call graph.
+pub fn jitter_scale(x: u64) -> u64 {
+    let t = std::time::Instant::now();
+    x.wrapping_add(u64::from(t.elapsed().subsec_nanos()))
+}

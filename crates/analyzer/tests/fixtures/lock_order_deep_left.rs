@@ -1,0 +1,22 @@
+//! Left arm of a 3-deep interprocedural lock-order cycle: `entry_left`
+//! holds `a` and reaches the `b` acquisition only through two
+//! intermediate calls — invisible to one-level summary propagation.
+use std::sync::Mutex;
+
+struct Pair {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+}
+
+fn entry_left(p: &Pair) -> u64 {
+    let g = p.a.lock().unwrap();
+    step1(p) + *g
+}
+
+fn step1(p: &Pair) -> u64 {
+    step2(p)
+}
+
+fn step2(p: &Pair) -> u64 {
+    *p.b.lock().unwrap()
+}

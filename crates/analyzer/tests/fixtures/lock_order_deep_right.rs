@@ -1,0 +1,7 @@
+//! Right arm of the 3-deep cycle: acquires `b` then `a` directly, the
+//! opposite order of `lock_order_deep_left.rs`'s transitive chain.
+fn entry_right(p: &Pair) -> u64 {
+    let g = p.b.lock().unwrap();
+    let h = p.a.lock().unwrap();
+    *g + *h
+}

@@ -1,0 +1,15 @@
+//! Clean twin of `panic_path_firing.rs`: the fallible lookup is
+//! propagated with `?` instead of unwrapped, so no panic-capable site
+//! is reachable while the guard is held.
+use std::sync::Mutex;
+
+struct Counters {
+    state: Mutex<u64>,
+}
+
+fn bump_first(c: &Counters, samples: &[u64]) -> Option<u64> {
+    let mut g = c.state.lock().expect("poisoned");
+    let first = samples.first()?;
+    *g += first;
+    Some(*g)
+}

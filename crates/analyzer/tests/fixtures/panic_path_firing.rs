@@ -1,0 +1,16 @@
+//! Firing: `.unwrap()` on a non-guard value while the state guard is
+//! held — a panic here poisons the mutex for every other thread. The
+//! `.expect(…)` chained onto `lock()` itself is poison plumbing and
+//! must NOT fire.
+use std::sync::Mutex;
+
+struct Counters {
+    state: Mutex<u64>,
+}
+
+fn bump_first(c: &Counters, samples: &[u64]) -> u64 {
+    let mut g = c.state.lock().expect("poisoned");
+    let first = samples.first().unwrap();
+    *g += first;
+    *g
+}

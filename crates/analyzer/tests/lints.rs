@@ -5,6 +5,7 @@
 //! self-analysis in `self_analysis.rs`.
 
 use llp_analyzer::policy::{Class, CrateSpec, SourceFile};
+use llp_analyzer::report::AnalyzerReport;
 use llp_analyzer::{analyze_crates, Analysis};
 use serde::Serialize;
 
@@ -21,6 +22,23 @@ fn run(class: Class, key: &str, path: &str, src: &str, is_root: bool) -> Analysi
         } else {
             vec![]
         },
+    }])
+}
+
+/// Multi-file variant of [`run`]: the interprocedural lints need
+/// callers and callees in separate files of one crate.
+fn run_files(class: Class, key: &str, files: &[(&str, &str)]) -> Analysis {
+    analyze_crates(&[CrateSpec {
+        key: key.to_string(),
+        class,
+        files: files
+            .iter()
+            .map(|(path, text)| SourceFile {
+                path: (*path).to_string(),
+                text: (*text).to_string(),
+            })
+            .collect(),
+        root_files: vec![],
     }])
 }
 
@@ -253,4 +271,112 @@ fn report_round_trips_through_json() {
         }
         other => panic!("findings field missing or non-array: {other:?}"),
     }
+}
+
+#[test]
+fn panic_path_fires_under_guard_and_fallible_twin_is_clean() {
+    let a = det(include_str!("fixtures/panic_path_firing.rs"));
+    assert_eq!(lints(&a), vec!["panic-path"], "{:?}", a.report.findings);
+    // The plumbing `.expect("poisoned")` on lock() must not be the
+    // origin: the finding is on the `.unwrap()` line.
+    assert!(
+        a.report.findings[0].message.contains(".unwrap()"),
+        "{:?}",
+        a.report.findings
+    );
+
+    let b = det(include_str!("fixtures/panic_path_clean.rs"));
+    assert!(b.report.findings.is_empty(), "{:?}", b.report.findings);
+}
+
+#[test]
+fn fp_kernel_purity_follows_calls_into_helpers() {
+    // The kernel file is clean on its own; the clock read lives in a
+    // helper one call away, in another file.
+    let kernel = "pub fn violation_scan(x: u64) -> u64 { jitter_scale(x) }\n";
+    let a = run_files(
+        Class::Deterministic,
+        "core",
+        &[
+            ("crates/core/src/clarkson.rs", kernel),
+            (
+                "crates/core/src/util.rs",
+                include_str!("fixtures/fp_purity_firing.rs"),
+            ),
+        ],
+    );
+    // The helper's own wall-clock finding fires per-file; the purity
+    // finding fires at the kernel's call site with the witness chain.
+    assert!(
+        lints(&a).contains(&"fp-kernel-purity"),
+        "{:?}",
+        a.report.findings
+    );
+    let purity = a
+        .report
+        .findings
+        .iter()
+        .find(|f| f.lint == "fp-kernel-purity")
+        .unwrap();
+    assert_eq!(purity.path, "crates/core/src/clarkson.rs");
+    assert!(
+        purity.message.contains("jitter_scale"),
+        "{}",
+        purity.message
+    );
+
+    let b = run_files(
+        Class::Deterministic,
+        "core",
+        &[
+            ("crates/core/src/clarkson.rs", kernel),
+            (
+                "crates/core/src/util.rs",
+                include_str!("fixtures/fp_purity_clean.rs"),
+            ),
+        ],
+    );
+    assert!(b.report.findings.is_empty(), "{:?}", b.report.findings);
+}
+
+#[test]
+fn three_deep_cross_file_cycle_is_caught_by_the_full_pipeline() {
+    let a = run_files(
+        Class::Deterministic,
+        "core",
+        &[
+            (
+                "crates/core/src/left.rs",
+                include_str!("fixtures/lock_order_deep_left.rs"),
+            ),
+            (
+                "crates/core/src/right.rs",
+                include_str!("fixtures/lock_order_deep_right.rs"),
+            ),
+        ],
+    );
+    assert!(
+        a.report
+            .findings
+            .iter()
+            .any(|f| f.lint == "lock-order" && f.message.contains("cycle")),
+        "{:?}",
+        a.report.findings
+    );
+}
+
+#[test]
+fn baseline_diff_gates_on_new_findings_only() {
+    // Round trip: a report loads back as a baseline and a re-run of the
+    // same analysis diffs clean against it.
+    let a = det(include_str!("fixtures/collections_firing.rs"));
+    let base =
+        AnalyzerReport::load_baseline(&a.report.to_json()).expect("fresh report is a baseline");
+    assert!(a.report.new_versus(&base).is_empty());
+
+    // A run with different findings reports exactly the delta.
+    let b = det(include_str!("fixtures/unseeded_rng_firing.rs"));
+    let fresh = b.report.new_versus(&base);
+    assert_eq!(fresh.len(), b.report.findings.len());
+    assert!(fresh.iter().all(|f| f.lint == "unseeded-rng"), "{fresh:?}");
 }

@@ -4,6 +4,8 @@
 //! plain `cargo test` tier-1 surface enforces it too.
 
 use llp_analyzer::analyze_workspace;
+use llp_analyzer::report::AnalyzerReport;
+use serde::Serialize;
 use std::path::Path;
 
 #[test]
@@ -23,8 +25,27 @@ fn workspace_is_deny_clean() {
     // Sanity on the discovery surface itself: the whole workspace is in
     // view (19 crates + facade), not an accidentally-pruned subtree.
     assert!(
-        a.report.files_scanned >= 90,
+        a.report.files_scanned >= 106,
         "only {} files scanned — discovery lost crates",
         a.report.files_scanned
+    );
+}
+
+#[test]
+fn workspace_report_round_trips_as_its_own_baseline() {
+    // The PR-gate invariant: `--check --baseline` against a baseline
+    // written by the identical run must report zero new findings —
+    // fingerprints are a pure function of (lint, path, message,
+    // occurrence), never of line numbers or ordering.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let a = analyze_workspace(&root).expect("workspace discovery");
+    let base =
+        AnalyzerReport::load_baseline(&a.report.to_json()).expect("own report loads as a baseline");
+    let fresh = a.report.new_versus(&base);
+    assert!(
+        fresh.is_empty(),
+        "self-diff must be empty, got {} new finding(s): {:?}",
+        fresh.len(),
+        fresh
     );
 }

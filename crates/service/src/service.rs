@@ -114,12 +114,17 @@ pub struct Ticket {
 impl Ticket {
     /// Blocks until the batch completes.
     ///
-    /// # Panics
-    /// Panics if the worker solving the batch died (a solver panic).
+    /// A worker that dies mid-solve drops the batch — and every result
+    /// sender with it. That surfaces here as an error body rather than
+    /// a second panic on the requester's thread.
     pub fn wait(self) -> SolveResponse {
-        self.rx
-            .recv()
-            .expect("service worker dropped the batch (worker panic?)")
+        self.rx.recv().unwrap_or_else(|_| SolveResponse {
+            body: Err("service worker dropped the batch (worker died mid-solve)".to_string()),
+            served_from: ServedFrom::Batch,
+            queue_wait_ms: 0.0,
+            solve_ms: 0.0,
+            total_ms: 0.0,
+        })
     }
 }
 
@@ -371,7 +376,13 @@ fn worker_loop(shared: &Shared) {
             let mut st = shared.state.lock().expect("service state poisoned");
             loop {
                 if let Some(key) = st.pending.pop_front() {
-                    let batch = st.inflight.get(&key).expect("pending batch vanished");
+                    // A pending key with no batch is a bookkeeping bug;
+                    // shed the phantom key (no batch means no waiters
+                    // to fail) rather than panicking under the state
+                    // mutex and poisoning it for every peer.
+                    let Some(batch) = st.inflight.get(&key) else {
+                        continue;
+                    };
                     // llp-analyzer: allow(wall-clock) -- request-latency metering; replay classification never reads the clock
                     break (key, batch.request.clone(), Instant::now());
                 }
@@ -397,7 +408,13 @@ fn worker_loop(shared: &Shared) {
         // llp-analyzer: allow(wall-clock) -- request-latency metering; replay classification never reads the clock
         let done = Instant::now();
         let mut st = shared.state.lock().expect("service state poisoned");
-        let batch = st.inflight.remove(&key).expect("running batch vanished");
+        // Only the worker that popped `key` removes it, so the batch is
+        // present by construction — but a panic here would poison the
+        // mutex for every peer, so a bookkeeping bug sheds the result
+        // instead (no batch, no waiters to notify).
+        let Some(batch) = st.inflight.remove(&key) else {
+            continue;
+        };
         st.stats.solves += 1;
         if !cacheable {
             st.stats.failed_solves += 1;
