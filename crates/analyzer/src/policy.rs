@@ -86,6 +86,7 @@ const CRATE_TABLE: &[(&str, &str, Class)] = &[
     ("crates/workloads", "workloads", Class::Deterministic),
     ("crates/analyzer", "analyzer", Class::Deterministic),
     ("crates/service", "service", Class::Timing),
+    ("crates/serve", "serve", Class::Timing),
     ("crates/bench", "bench", Class::Timing),
     ("vendor/llp_par", "llp_par", Class::Deterministic),
     ("vendor/rand", "rand", Class::VendorExempt),

@@ -5,21 +5,28 @@
 //! ```text
 //! experiments [--quick] [--out PATH] [--label NAME] [--list]
 //!             [--threads N] [--workers N] [--requests N]
+//!             [--shards N] [--port P] [--connect ADDR]
 //!             [--check PATH] [id ...]
 //! ```
 //!
 //! * ids: any table id (`t1` … `t14`, `t13p`, `t13c`, `f1`, `f2`),
 //!   `tables` (all of them), `scenarios` (the registry grid), `serve`
 //!   (the service load mixes), `columnar` (the AoS-vs-SoA scan
-//!   comparison block), or `all` (everything; the default).
+//!   comparison block), `net-serve` (the socket loadgen against a real
+//!   loopback `llp_serve` server), or `all` (everything; the default).
 //! * `--quick` shrinks every input size through one shared [`RunBudget`]
 //!   (the same budget the integration tests use).
 //! * `--threads N` pins the `llp_par` scan-thread count via
 //!   `llp_par::set_threads` — it overrides the `LLP_THREADS` environment
 //!   variable for this run (precedence: `--threads` > `LLP_THREADS` >
 //!   `available_parallelism`; see README "Parallelism").
-//! * `--workers N` / `--requests N` tune the `serve` harness (service
-//!   worker threads, requests per wave per mix).
+//! * `--workers N` / `--requests N` tune the `serve` and `net-serve`
+//!   harnesses (service worker threads, requests per wave per mix).
+//! * `--shards N` sets the shard count behind the `net-serve` server
+//!   (precedence: `--shards` > `LLP_SHARDS` > max(2, cores); see README
+//!   "Network serving"); `--port P` pins the loopback port (default:
+//!   ephemeral); `--connect ADDR` drives an already-running external
+//!   server instead of booting one in-process.
 //! * When the scenario grid or the serve harness runs, the report is
 //!   written as JSON to `--out PATH`, or to `BENCH_<label>.json` with
 //!   the label defaulting to the unix timestamp — the file the repo's
@@ -29,12 +36,14 @@
 //! * `--check PATH` parses a previously written report back into
 //!   [`llp_bench::report::Report`] and validates it (grid coverage, zero
 //!   violations, cross-model objective agreement, service-counter
-//!   conservation); exits non-zero on any failure. No experiments run in
-//!   this mode.
+//!   conservation, and the net block's per-shard *and* fleet-aggregate
+//!   conservation laws); exits non-zero on any failure. No experiments
+//!   run in this mode.
 //! * `--list` prints the registry without running anything.
 
 #![forbid(unsafe_code)]
 
+use llp_bench::netserve::{self, NetServeOptions};
 use llp_bench::report::{self, Report};
 use llp_bench::serve::{self, ServeOptions};
 use llp_bench::RunBudget;
@@ -48,6 +57,9 @@ fn main() {
     let mut threads: Option<usize> = None;
     let mut workers: Option<usize> = None;
     let mut requests: Option<usize> = None;
+    let mut shards: Option<usize> = None;
+    let mut port: Option<u16> = None;
+    let mut connect: Option<String> = None;
     let mut list = false;
     let mut ids: Vec<String> = Vec::new();
 
@@ -61,14 +73,19 @@ fn main() {
             "--threads" => threads = Some(expect_usize(&mut args, "--threads")),
             "--workers" => workers = Some(expect_usize(&mut args, "--workers")),
             "--requests" => requests = Some(expect_usize(&mut args, "--requests")),
+            "--shards" => shards = Some(expect_usize(&mut args, "--shards")),
+            "--port" => port = Some(expect_port(&mut args, "--port")),
+            "--connect" => connect = Some(expect_value(&mut args, "--connect")),
             "--list" => list = true,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: experiments [--quick] [--out PATH] [--label NAME] [--list] \
-                     [--threads N] [--workers N] [--requests N] [--check PATH] [id ...]"
+                     [--threads N] [--workers N] [--requests N] [--shards N] [--port P] \
+                     [--connect ADDR] [--check PATH] [id ...]"
                 );
                 eprintln!(
-                    "ids: {:?}, 'tables', 'scenarios', 'serve', 'columnar', or 'all' (default)",
+                    "ids: {:?}, 'tables', 'scenarios', 'serve', 'columnar', 'net-serve', \
+                     or 'all' (default)",
                     llp_bench::ALL
                 );
                 return;
@@ -114,16 +131,19 @@ fn main() {
     let mut run_scenarios = false;
     let mut run_serve = false;
     let mut run_columnar = false;
+    let mut run_net = false;
     for id in &ids {
         match id.as_str() {
             "scenarios" => run_scenarios = true,
             "serve" => run_serve = true,
             "columnar" => run_columnar = true,
+            "net-serve" => run_net = true,
             "all" | "tables" => {
                 if id == "all" {
                     run_scenarios = true;
                     run_serve = true;
                     run_columnar = true;
+                    run_net = true;
                 }
                 for table_id in llp_bench::ALL {
                     for table in llp_bench::run(table_id, budget) {
@@ -141,14 +161,22 @@ fn main() {
     // Flags that only make sense for a specific run force that run:
     // silently discarding them while naming ids that skip it would write
     // nothing (and a later --check would read a stale file).
-    if workers.is_some() || requests.is_some() {
+    if (workers.is_some() || requests.is_some()) && !run_net {
         run_serve = true;
     }
-    if (out.is_some() || label.is_some()) && !run_scenarios && !run_serve && !run_columnar {
+    if shards.is_some() || port.is_some() || connect.is_some() {
+        run_net = true;
+    }
+    if (out.is_some() || label.is_some())
+        && !run_scenarios
+        && !run_serve
+        && !run_columnar
+        && !run_net
+    {
         run_scenarios = true;
     }
 
-    if run_scenarios || run_serve || run_columnar {
+    if run_scenarios || run_serve || run_columnar || run_net {
         let label = label.unwrap_or_else(unix_timestamp);
         let mut report = if run_scenarios {
             report::run_scenarios(budget, &label)
@@ -160,6 +188,7 @@ fn main() {
                 cells: Vec::new(),
                 service: Vec::new(),
                 columnar: Vec::new(),
+                net: Vec::new(),
             }
         };
         if run_scenarios {
@@ -180,6 +209,21 @@ fn main() {
             report.columnar = report::run_columnar(budget);
             println!("{}", report.columnar_summary_table().render());
         }
+        if run_net {
+            let mut opts = NetServeOptions::for_budget(budget, llp_serve::default_shards(shards));
+            if let Some(w) = workers {
+                opts.serve.workers = w.max(1);
+            }
+            if let Some(r) = requests {
+                opts.serve.requests = r.max(1);
+            }
+            if let Some(p) = port {
+                opts.port = p;
+            }
+            opts.connect = connect.clone();
+            report.net = netserve::run_net_mixes(budget, &opts);
+            println!("{}", report.net_summary_table().render());
+        }
         let path = out.unwrap_or_else(|| format!("BENCH_{label}.json"));
         std::fs::write(&path, report.to_json()).unwrap_or_else(|e| {
             eprintln!("error: cannot write {path}: {e}");
@@ -191,11 +235,12 @@ fn main() {
         }
         eprintln!(
             "wrote {path} ({} grid cells, {} scenarios, {} service mixes, {} columnar cells, \
-             budget {})",
+             {} net rows, budget {})",
             report.cells.len(),
             report.cells.len() / report::MODELS.len(),
             report.service.len(),
             report.columnar.len(),
+            report.net.len(),
             report.budget
         );
     }
@@ -219,6 +264,14 @@ fn expect_usize(args: &mut impl Iterator<Item = String>, flag: &str) -> usize {
         })
 }
 
+fn expect_port(args: &mut impl Iterator<Item = String>, flag: &str) -> u16 {
+    let raw = expect_value(args, flag);
+    raw.parse::<u16>().unwrap_or_else(|_| {
+        eprintln!("error: {flag} needs a port number, got {raw:?}");
+        std::process::exit(2);
+    })
+}
+
 fn unix_timestamp() -> String {
     // llp-analyzer: allow(wall-clock) -- default report label timestamp only; --label pins it for reproducible runs
     std::time::SystemTime::now()
@@ -240,12 +293,13 @@ fn check_report(path: &str) {
         Ok(()) => {
             println!(
                 "{path}: ok — schema v{}, {} grid cells, {} scenarios, {} service mixes, \
-                 {} columnar cells, budget {}",
+                 {} columnar cells, {} net rows, budget {}",
                 report.schema_version,
                 report.cells.len(),
                 report.cells.len() / report::MODELS.len(),
                 report.service.len(),
                 report.columnar.len(),
+                report.net.len(),
                 report.budget
             );
         }

@@ -14,10 +14,14 @@
 //! [`serve`] module is the load harness on top of `llp_service`: it
 //! replays traffic mixes drawn from the same registry against the
 //! concurrent solve service and meters the serving layer into the same
-//! report.
+//! report. The [`netserve`] module replays the *same* mixes over a real
+//! loopback TCP socket against `llp_serve` shards and lands per-shard
+//! plus fleet rows (DESIGN.md §9).
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
+pub mod netserve;
 pub mod report;
 pub mod serve;
 

@@ -1,0 +1,206 @@
+//! The `experiments net-serve` socket loadgen: drive a real localhost
+//! `llp_serve` TCP server with the three serve mixes and land per-shard
+//! plus fleet-aggregate [`NetCell`] rows in the report.
+//!
+//! The request streams are the exact streams of `experiments serve`
+//! ([`crate::serve::mix_stream`]), so the two harnesses measure the
+//! same traffic — the only difference is the wire in between. Each mix
+//! runs `waves` barrier-separated replays of its stream, spread across
+//! `clients` concurrent connections; wave 2+ replays warmed per-shard
+//! caches exactly as in the in-process harness, because consistent-hash
+//! routing pins every fingerprint to one shard (DESIGN.md §9).
+//!
+//! By default the loadgen boots an in-process [`NetServer`] on an
+//! ephemeral loopback port; `--connect ADDR` drives an external server
+//! instead (e.g. a separately-started `llp_serve` binary — the README
+//! "Network serving" quickstart). Either way all metering crosses the
+//! wire: a `Reset` frame isolates each mix and a `Stats` frame collects
+//! the per-shard and fleet rows afterwards, so an external server
+//! produces the same report block an in-process one does.
+
+use crate::report::NetCell;
+use crate::serve::{mix_stream, ServeOptions, MIXES};
+use crate::RunBudget;
+use llp_serve::codec::{ErrorCode, StatsReply, FLEET_SHARD};
+use llp_serve::{ClientError, NetClient, NetServer, ServeConfig};
+use llp_service::ServiceConfig;
+
+/// Socket-loadgen knobs (`experiments net-serve` flags map onto this).
+#[derive(Clone, Debug)]
+pub struct NetServeOptions {
+    /// Per-shard service knobs plus the request/wave counts.
+    pub serve: ServeOptions,
+    /// Independent service shards behind the server.
+    pub shards: usize,
+    /// Concurrent client connections per wave.
+    pub clients: usize,
+    /// Port for the in-process server (`0` = ephemeral). Ignored when
+    /// `connect` is set.
+    pub port: u16,
+    /// Drive an external server at this address instead of booting an
+    /// in-process one.
+    pub connect: Option<String>,
+}
+
+impl NetServeOptions {
+    /// Defaults for a budget: quick keeps the 3-mix run in CI seconds.
+    pub fn for_budget(budget: RunBudget, shards: usize) -> Self {
+        NetServeOptions {
+            serve: ServeOptions::for_budget(budget),
+            shards,
+            clients: 4,
+            port: 0,
+            connect: None,
+        }
+    }
+
+    fn service_config(&self) -> ServiceConfig {
+        ServiceConfig {
+            workers: self.serve.workers,
+            queue_capacity: self.serve.queue_capacity,
+            cache_capacity: self.serve.cache_capacity,
+            solver_threads: self.serve.solver_threads,
+            ..ServiceConfig::default()
+        }
+    }
+}
+
+/// Runs all three mixes over TCP (the `experiments net-serve` payload):
+/// boots a loopback server unless `opts.connect` points at an external
+/// one, then per mix — reset over the wire, replay the mix stream
+/// across `opts.clients` connections for `opts.serve.waves` waves, and
+/// turn the wire `Stats` reply into per-shard + fleet [`NetCell`] rows.
+pub fn run_net_mixes(budget: RunBudget, opts: &NetServeOptions) -> Vec<NetCell> {
+    // Keep the in-process server alive across all mixes (resets happen
+    // over the wire), and shut it down when this binding drops.
+    let server: Option<NetServer> = match &opts.connect {
+        Some(_) => None,
+        None => {
+            let cfg = ServeConfig {
+                shards: opts.shards.max(1),
+                service: opts.service_config(),
+            };
+            let addr = format!("127.0.0.1:{}", opts.port);
+            Some(NetServer::bind(&addr, cfg).unwrap_or_else(|e| {
+                panic!("net-serve: cannot bind loopback server on {addr}: {e}")
+            }))
+        }
+    };
+    let addr = match (&opts.connect, &server) {
+        (Some(a), _) => a.clone(),
+        (None, Some(s)) => s.local_addr().to_string(),
+        (None, None) => unreachable!("either connect or an in-process server"),
+    };
+    MIXES
+        .iter()
+        .map(|mix| run_net_mix(mix, &addr, budget, opts))
+        .collect::<Vec<_>>()
+        .concat()
+}
+
+/// One mix against a running server at `addr`.
+fn run_net_mix(mix: &str, addr: &str, budget: RunBudget, opts: &NetServeOptions) -> Vec<NetCell> {
+    let mut control = NetClient::connect(addr)
+        .unwrap_or_else(|e| panic!("net-serve mix {mix:?}: cannot connect {addr}: {e}"));
+    // Wire-level reset isolates this mix's counters — required for an
+    // external server, harmless for the in-process one.
+    control
+        .reset()
+        .unwrap_or_else(|e| panic!("net-serve mix {mix:?}: reset failed: {e}"));
+
+    let stream = mix_stream(mix, budget, opts.serve.requests);
+    let clients = opts.clients.max(1);
+    // llp-analyzer: allow(wall-clock) -- loadgen timer behind wall_ms/throughput_rps; response bodies and classification counters stay clock-free
+    let start = std::time::Instant::now();
+    for _ in 0..opts.serve.waves {
+        // One wave: every request crosses the wire once, spread
+        // round-robin over the client connections. The join below is
+        // the wave barrier that makes wave 2 a warmed-cache replay.
+        let handles: Vec<std::thread::JoinHandle<()>> = (0..clients)
+            .map(|c| {
+                let chunk: Vec<llp_service::SolveRequest> =
+                    stream.iter().skip(c).step_by(clients).cloned().collect();
+                let addr = addr.to_string();
+                let mix = mix.to_string();
+                std::thread::spawn(move || {
+                    let mut client = NetClient::connect(&addr).unwrap_or_else(|e| {
+                        panic!("net-serve mix {mix:?}: client cannot connect: {e}")
+                    });
+                    for req in &chunk {
+                        match client.solve(req) {
+                            Ok(resp) => {
+                                if let Err(e) = &resp.body {
+                                    panic!(
+                                        "net-serve mix {mix:?}: registry scenario \
+                                         failed to solve: {e}"
+                                    );
+                                }
+                            }
+                            // Shed is a legitimate loadgen outcome; the
+                            // server counts it and conservation still
+                            // holds. Anything else is a harness bug.
+                            Err(ClientError::Server {
+                                code: ErrorCode::Shed,
+                                ..
+                            }) => {}
+                            Err(e) => {
+                                panic!("net-serve mix {mix:?}: solve failed over the wire: {e}")
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            if h.join().is_err() {
+                panic!("net-serve mix {mix:?}: a client thread panicked");
+            }
+        }
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
+
+    let reply = control
+        .stats()
+        .unwrap_or_else(|e| panic!("net-serve mix {mix:?}: stats failed: {e}"));
+    cells_from_stats(mix, &reply, opts, wall_ms)
+}
+
+/// Turns a wire stats reply into report rows (shard rows first, fleet
+/// last — the order the server sends them).
+fn cells_from_stats(
+    mix: &str,
+    reply: &StatsReply,
+    opts: &NetServeOptions,
+    wall_ms: f64,
+) -> Vec<NetCell> {
+    reply
+        .rows
+        .iter()
+        .map(|row| NetCell {
+            mix: mix.to_string(),
+            shard: if row.shard == FLEET_SHARD {
+                "fleet".to_string()
+            } else {
+                row.shard.to_string()
+            },
+            shards: u64::from(reply.shards),
+            workers: opts.serve.workers as u64,
+            waves: opts.serve.waves as u64,
+            submitted: row.stats.submitted,
+            completed: row.stats.completed,
+            shed: row.stats.shed,
+            rejected: row.stats.rejected,
+            solves: row.stats.solves,
+            batched: row.stats.batched,
+            cache_hits: row.stats.cache_hits,
+            p50_ms: row.latency.p50_ms,
+            p95_ms: row.latency.p95_ms,
+            p99_ms: row.latency.p99_ms,
+            max_ms: row.latency.max_ms,
+            mean_ms: row.latency.mean_ms,
+            queue_p95_ms: row.queue_wait.p95_ms,
+            throughput_rps: row.stats.completed as f64 / (wall_ms / 1000.0).max(1e-9),
+            wall_ms,
+        })
+        .collect()
+}

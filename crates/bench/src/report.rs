@@ -22,11 +22,13 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 /// Bumped whenever a [`Cell`]/[`Report`]/[`ServiceCell`]/[`ColumnarCell`]
-/// field changes meaning; consumers (the perf-trajectory differ, CI
-/// `--check`) refuse unknown versions. v2 added the `service` block (the
-/// `experiments serve` load-harness results); v3 added the `columnar`
-/// block (AoS-vs-SoA violation-scan comparison cells).
-pub const SCHEMA_VERSION: u64 = 3;
+/// /[`NetCell`] field changes meaning; consumers (the perf-trajectory
+/// differ, CI `--check`) refuse unknown versions. v2 added the `service`
+/// block (the `experiments serve` load-harness results); v3 added the
+/// `columnar` block (AoS-vs-SoA violation-scan comparison cells); v4
+/// added the `net` block (`experiments net-serve` socket loadgen:
+/// per-shard rows plus a fleet-aggregate row per mix).
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// The models every scenario runs under, in report order.
 pub const MODELS: &[&str] = &["ram", "streaming", "coordinator", "mpc"];
@@ -157,6 +159,64 @@ pub struct ColumnarCell {
     pub identical: bool,
 }
 
+/// One row of the socket-loadgen block (`experiments net-serve`): one
+/// service shard's counters under one load mix, or the fleet-aggregate
+/// row (`shard == "fleet"`). Counters mirror `llp_service::ServiceStats`
+/// per shard; the fleet row's counters are field-wise sums and its
+/// percentiles are recomputed from the concatenated raw samples
+/// (percentiles do not compose from per-shard summaries). The
+/// classification counters are worker-count deterministic per shard —
+/// routing is a pure function of the request fingerprint and the shard
+/// count (DESIGN.md §9), so replaying the same stream at the same shard
+/// count must reproduce them bit-for-bit.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NetCell {
+    /// Mix name (`"uniform"`, `"hot_key"`, `"heavy_tail"`).
+    pub mix: String,
+    /// Shard index rendered as text (`"0"`, `"1"`, …) or `"fleet"` for
+    /// the aggregate row.
+    pub shard: String,
+    /// Total shard count behind the server.
+    pub shards: u64,
+    /// Worker threads per shard.
+    pub workers: u64,
+    /// Times the request stream was replayed (wave 2+ exercises the
+    /// per-shard cache).
+    pub waves: u64,
+    /// Requests routed to this shard (fleet: all requests offered).
+    pub submitted: u64,
+    /// Responses delivered.
+    pub completed: u64,
+    /// Requests dropped by admission control.
+    pub shed: u64,
+    /// Requests refused before queueing (unknown scenario).
+    pub rejected: u64,
+    /// Batches executed by a worker.
+    pub solves: u64,
+    /// Requests coalesced into an in-flight batch.
+    pub batched: u64,
+    /// Requests answered from the shard's result cache.
+    pub cache_hits: u64,
+    /// Median end-to-end latency, milliseconds (0 when the shard saw no
+    /// completed requests).
+    pub p50_ms: f64,
+    /// p95 end-to-end latency, milliseconds.
+    pub p95_ms: f64,
+    /// p99 end-to-end latency, milliseconds.
+    pub p99_ms: f64,
+    /// Worst end-to-end latency, milliseconds.
+    pub max_ms: f64,
+    /// Mean end-to-end latency, milliseconds.
+    pub mean_ms: f64,
+    /// p95 queue wait, milliseconds.
+    pub queue_p95_ms: f64,
+    /// Completed requests per second over the mix's wall-clock.
+    pub throughput_rps: f64,
+    /// Wall-clock of the whole mix run, milliseconds (same value on
+    /// every row of a mix).
+    pub wall_ms: f64,
+}
+
 /// A full scenario-grid run: the file format of `BENCH_<label>.json`.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Report {
@@ -175,6 +235,10 @@ pub struct Report {
     /// One cell per (n × thread count) from `experiments columnar` — the
     /// AoS-vs-SoA scan comparison. Empty when that leg did not run.
     pub columnar: Vec<ColumnarCell>,
+    /// Socket-loadgen rows from `experiments net-serve`: per mix, one
+    /// row per shard plus one fleet row. Empty when that leg did not
+    /// run.
+    pub net: Vec<NetCell>,
 }
 
 impl Report {
@@ -319,6 +383,50 @@ impl Report {
         }
         t
     }
+
+    /// A human summary of the socket loadgen (one row per shard per
+    /// mix, fleet rows included).
+    pub fn net_summary_table(&self) -> crate::Table {
+        let mut t = crate::Table::new(
+            &format!(
+                "S4  Network serve: per-shard load ({} budget, label {:?})",
+                self.budget, self.label
+            ),
+            &[
+                "mix",
+                "shard",
+                "submitted",
+                "completed",
+                "shed",
+                "solves",
+                "batched",
+                "cache_hits",
+                "p50_ms",
+                "p95_ms",
+                "p99_ms",
+                "rps",
+                "wall_ms",
+            ],
+        );
+        for c in &self.net {
+            t.push(vec![
+                c.mix.clone(),
+                c.shard.clone(),
+                c.submitted.to_string(),
+                c.completed.to_string(),
+                c.shed.to_string(),
+                c.solves.to_string(),
+                c.batched.to_string(),
+                c.cache_hits.to_string(),
+                format!("{:.3}", c.p50_ms),
+                format!("{:.3}", c.p95_ms),
+                format!("{:.3}", c.p99_ms),
+                format!("{:.0}", c.throughput_rps),
+                format!("{:.1}", c.wall_ms),
+            ]);
+        }
+        t
+    }
 }
 
 /// Runs the full scenario × model grid at the given budget.
@@ -334,6 +442,7 @@ pub fn run_scenarios(budget: RunBudget, label: &str) -> Report {
         cells,
         service: Vec::new(),
         columnar: Vec::new(),
+        net: Vec::new(),
     }
 }
 
@@ -475,7 +584,11 @@ pub const OBJECTIVE_TOL: f64 = 1e-5;
 /// the hot-key mix (its second wave replays warmed keys by
 /// construction); columnar: bit-identical outputs on every cell,
 /// positive finite timings, `speedup == aos_ms / soa_ms`, and unique
-/// (n, threads) keys.
+/// (n, threads) keys; net: per mix exactly one fleet row plus one row
+/// per shard index, the same conservation laws on *every* row (per
+/// shard and in aggregate), fleet counters equal to the field-wise sum
+/// of the shard rows, ordered percentiles, and positive fleet
+/// throughput.
 pub fn validate(report: &Report) -> Result<(), String> {
     if report.schema_version != SCHEMA_VERSION {
         return Err(format!(
@@ -486,11 +599,16 @@ pub fn validate(report: &Report) -> Result<(), String> {
     if RunBudget::parse(&report.budget).is_none() {
         return Err(format!("unknown budget {:?}", report.budget));
     }
-    if report.cells.is_empty() && report.service.is_empty() && report.columnar.is_empty() {
-        return Err("empty report (no grid, service, or columnar cells)".into());
+    if report.cells.is_empty()
+        && report.service.is_empty()
+        && report.columnar.is_empty()
+        && report.net.is_empty()
+    {
+        return Err("empty report (no grid, service, columnar, or net cells)".into());
     }
     validate_service(&report.service)?;
     validate_columnar(&report.columnar)?;
+    validate_net(&report.net)?;
     if report.cells.is_empty() {
         return Ok(());
     }
@@ -572,6 +690,97 @@ fn validate_service(cells: &[ServiceCell]) -> Result<(), String> {
             return Err(ctx("non-positive throughput"));
         }
         if c.mix == "hot_key" && c.waves >= 2 && c.cache_hits == 0 {
+            return Err(ctx("hot-key mix produced zero cache hits"));
+        }
+    }
+    Ok(())
+}
+
+/// The net-block leg of [`validate`]: structural shape (one fleet row
+/// plus shard rows `0..shards-1` per mix), the conservation laws per
+/// shard *and* in aggregate, fleet counters as field-wise sums,
+/// percentile ordering on every row, and positive fleet throughput.
+fn validate_net(cells: &[NetCell]) -> Result<(), String> {
+    let mut mixes: Vec<&str> = cells.iter().map(|c| c.mix.as_str()).collect();
+    mixes.sort_unstable();
+    mixes.dedup();
+    for mix in mixes {
+        let rows: Vec<&NetCell> = cells.iter().filter(|c| c.mix == mix).collect();
+        let ctx = |what: &str| format!("net mix {mix:?}: {what}");
+        let shards = rows[0].shards;
+        if shards == 0 {
+            return Err(ctx("zero shards"));
+        }
+        if rows
+            .iter()
+            .any(|r| r.shards != shards || r.workers != rows[0].workers || r.waves != rows[0].waves)
+        {
+            return Err(ctx("rows disagree on shards/workers/waves"));
+        }
+        if rows.len() as u64 != shards + 1 {
+            return Err(ctx(&format!(
+                "{} rows for {shards} shards (expected shards + fleet)",
+                rows.len()
+            )));
+        }
+        let fleet: Vec<&&NetCell> = rows.iter().filter(|r| r.shard == "fleet").collect();
+        if fleet.len() != 1 {
+            return Err(ctx(&format!("{} fleet rows (expected 1)", fleet.len())));
+        }
+        let fleet = *fleet[0];
+        for i in 0..shards {
+            let want = i.to_string();
+            if rows.iter().filter(|r| r.shard == want).count() != 1 {
+                return Err(ctx(&format!("shard {want:?} does not appear exactly once")));
+            }
+        }
+        for r in &rows {
+            let rctx = |what: &str| format!("net mix {mix:?} shard {:?}: {what}", r.shard);
+            if r.completed + r.shed + r.rejected != r.submitted {
+                return Err(rctx(&format!(
+                    "completed {} + shed {} + rejected {} != submitted {}",
+                    r.completed, r.shed, r.rejected, r.submitted
+                )));
+            }
+            if r.cache_hits + r.solves + r.batched != r.completed {
+                return Err(rctx(&format!(
+                    "cache_hits {} + solves {} + batched {} != completed {}",
+                    r.cache_hits, r.solves, r.batched, r.completed
+                )));
+            }
+            let quantiles = [r.p50_ms, r.p95_ms, r.p99_ms, r.max_ms];
+            if quantiles.iter().any(|v| v.is_nan()) || quantiles.windows(2).any(|w| w[0] > w[1]) {
+                return Err(rctx(&format!(
+                    "latency percentiles out of order: p50 {} p95 {} p99 {} max {}",
+                    r.p50_ms, r.p95_ms, r.p99_ms, r.max_ms
+                )));
+            }
+        }
+        let shard_rows: Vec<&&NetCell> = rows.iter().filter(|r| r.shard != "fleet").collect();
+        let sum = |f: fn(&NetCell) -> u64| shard_rows.iter().map(|r| f(r)).sum::<u64>();
+        let sums: [(u64, u64, &str); 7] = [
+            (sum(|r| r.submitted), fleet.submitted, "submitted totals"),
+            (sum(|r| r.completed), fleet.completed, "completed totals"),
+            (sum(|r| r.shed), fleet.shed, "shed totals"),
+            (sum(|r| r.rejected), fleet.rejected, "rejected totals"),
+            (sum(|r| r.solves), fleet.solves, "solves totals"),
+            (sum(|r| r.batched), fleet.batched, "batched totals"),
+            (sum(|r| r.cache_hits), fleet.cache_hits, "cache_hits totals"),
+        ];
+        for (got, want, field) in sums {
+            if got != want {
+                return Err(ctx(&format!(
+                    "fleet {field} {want} != sum of shard rows {got}"
+                )));
+            }
+        }
+        if fleet.completed == 0 {
+            return Err(ctx("fleet completed no requests"));
+        }
+        if fleet.throughput_rps.is_nan() || fleet.throughput_rps <= 0.0 {
+            return Err(ctx("non-positive fleet throughput"));
+        }
+        if mix == "hot_key" && fleet.waves >= 2 && fleet.cache_hits == 0 {
             return Err(ctx("hot-key mix produced zero cache hits"));
         }
     }
@@ -669,7 +878,53 @@ mod tests {
         }
     }
 
+    fn demo_net_cell(mix: &str, shard: &str, submitted: u64) -> NetCell {
+        // completed = submitted - 2 (one shed, one rejected);
+        // completed = cache_hits + solves + batched with a 3/1/1 split
+        // remainder on solves.
+        let completed = submitted - 2;
+        let cache_hits = completed / 2;
+        let batched = completed / 4;
+        NetCell {
+            mix: mix.to_string(),
+            shard: shard.to_string(),
+            shards: 2,
+            workers: 2,
+            waves: 2,
+            submitted,
+            completed,
+            shed: 1,
+            rejected: 1,
+            solves: completed - cache_hits - batched,
+            batched,
+            cache_hits,
+            p50_ms: 1.0,
+            p95_ms: 4.0,
+            p99_ms: 9.0,
+            max_ms: 12.0,
+            mean_ms: 2.0,
+            queue_p95_ms: 0.5,
+            throughput_rps: 800.0,
+            wall_ms: 100.0,
+        }
+    }
+
+    fn demo_net_mix(mix: &str) -> Vec<NetCell> {
+        let a = demo_net_cell(mix, "0", 42);
+        let b = demo_net_cell(mix, "1", 62);
+        let mut fleet = demo_net_cell(mix, "fleet", 104);
+        fleet.shed = a.shed + b.shed;
+        fleet.rejected = a.rejected + b.rejected;
+        fleet.completed = a.completed + b.completed;
+        fleet.cache_hits = a.cache_hits + b.cache_hits;
+        fleet.batched = a.batched + b.batched;
+        fleet.solves = a.solves + b.solves;
+        vec![a, b, fleet]
+    }
+
     fn demo_report() -> Report {
+        let mut net = demo_net_mix("uniform");
+        net.extend(demo_net_mix("hot_key"));
         Report {
             schema_version: SCHEMA_VERSION,
             label: "demo".to_string(),
@@ -677,6 +932,7 @@ mod tests {
             cells: MODELS.iter().map(|m| demo_cell("s1", m, -0.75)).collect(),
             service: vec![demo_service_cell("uniform"), demo_service_cell("hot_key")],
             columnar: vec![demo_columnar_cell(1), demo_columnar_cell(4)],
+            net,
         }
     }
 
@@ -710,11 +966,59 @@ mod tests {
     fn validate_accepts_partial_reports_but_not_empty_ones() {
         let mut r = demo_report();
         r.cells.clear();
-        assert_eq!(validate(&r), Ok(()), "serve+columnar-only is fine");
+        assert_eq!(validate(&r), Ok(()), "serve+columnar+net-only is fine");
         r.service.clear();
-        assert_eq!(validate(&r), Ok(()), "columnar-only is fine");
+        assert_eq!(validate(&r), Ok(()), "columnar+net-only is fine");
         r.columnar.clear();
+        assert_eq!(validate(&r), Ok(()), "net-only is fine");
+        r.net.clear();
         assert!(validate(&r).unwrap_err().contains("empty report"));
+    }
+
+    #[test]
+    fn validate_rejects_inconsistent_net_rows() {
+        // Per-shard conservation broken.
+        let mut r = demo_report();
+        r.net[0].shed += 1;
+        assert!(validate(&r).unwrap_err().contains("submitted"));
+        // Fleet counters must be the field-wise sum of the shard rows.
+        let mut r = demo_report();
+        r.net[2].submitted += 1;
+        r.net[2].completed += 1;
+        r.net[2].solves += 1;
+        assert!(validate(&r).unwrap_err().contains("sum of shard rows"));
+        // Completion-split conservation broken on the fleet row.
+        let mut r = demo_report();
+        r.net[2].cache_hits += 1;
+        r.net[2].solves -= 1;
+        assert!(validate(&r).unwrap_err().contains("sum of shard rows"));
+        // Exactly one fleet row per mix.
+        let mut r = demo_report();
+        r.net[2].shard = "1".to_string();
+        assert!(validate(&r).unwrap_err().contains("fleet"));
+        // Shard indices must each appear exactly once.
+        let mut r = demo_report();
+        r.net[1].shard = "0".to_string();
+        assert!(validate(&r).unwrap_err().contains("exactly once"));
+        // Percentiles ordered on every row, shard rows included.
+        let mut r = demo_report();
+        r.net[1].p95_ms = 100.0;
+        assert!(validate(&r).unwrap_err().contains("percentiles"));
+        // Fleet must have completed traffic at positive throughput.
+        let mut r = demo_report();
+        for row in &mut r.net {
+            row.throughput_rps = 0.0;
+        }
+        assert!(validate(&r).unwrap_err().contains("throughput"));
+        // Hot-key fleet must hit the cache when waves >= 2.
+        let mut r = demo_report();
+        for row in &mut r.net {
+            if row.mix == "hot_key" {
+                row.solves += row.cache_hits;
+                row.cache_hits = 0;
+            }
+        }
+        assert!(validate(&r).unwrap_err().contains("cache hits"));
     }
 
     #[test]

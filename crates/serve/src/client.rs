@@ -1,0 +1,146 @@
+//! A minimal blocking client for the `llp_serve` wire protocol.
+//!
+//! One [`NetClient`] owns one TCP connection and issues one request at
+//! a time (the protocol has no request IDs; replies come back in
+//! order, and the loadgen gets concurrency by opening one connection
+//! per client thread). Application errors (shed, rejected) surface as
+//! [`ClientError::Server`] and leave the connection usable; protocol
+//! errors mean the server has closed the connection and the client
+//! should reconnect.
+
+use std::net::{TcpStream, ToSocketAddrs};
+
+use llp_service::{SolveRequest, SolveResponse};
+
+use crate::codec::{read_frame, write_frame, ErrorCode, Frame, ReadError, StatsReply};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (connect, send, or receive).
+    Io(std::io::Error),
+    /// The server answered with a typed error frame.
+    Server {
+        /// The typed code (e.g. [`ErrorCode::Shed`]).
+        code: ErrorCode,
+        /// The server's diagnostic detail.
+        message: String,
+    },
+    /// The reply violated the protocol (undecodable bytes or a frame
+    /// type that does not answer the request sent).
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error ({code:?}): {message}")
+            }
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ReadError> for ClientError {
+    fn from(e: ReadError) -> Self {
+        match e {
+            ReadError::Io(e) => ClientError::Io(e),
+            ReadError::Protocol { code, message } => {
+                ClientError::Protocol(format!("undecodable reply ({code:?}): {message}"))
+            }
+        }
+    }
+}
+
+/// A blocking connection to an `llp_serve` server.
+pub struct NetClient {
+    stream: TcpStream,
+}
+
+impl NetClient {
+    /// Connects to `addr` (e.g. `"127.0.0.1:7171"`).
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<NetClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(NetClient { stream })
+    }
+
+    /// Submits one solve request and blocks for its response. The
+    /// fingerprint is computed client-side and verified server-side.
+    pub fn solve(&mut self, request: &SolveRequest) -> Result<SolveResponse, ClientError> {
+        let fingerprint = request.fingerprint();
+        write_frame(
+            &mut self.stream,
+            &Frame::Solve {
+                fingerprint,
+                request: request.clone(),
+            },
+        )?;
+        match read_frame(&mut self.stream)? {
+            Frame::SolveResponse {
+                fingerprint: echo,
+                response,
+            } => {
+                if echo != fingerprint {
+                    return Err(ClientError::Protocol(format!(
+                        "response fingerprint {echo:032x} does not echo request {fingerprint:032x}"
+                    )));
+                }
+                Ok(response)
+            }
+            Frame::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Protocol(format!(
+                "expected a solve response, got frame type {}",
+                other.frame_type()
+            ))),
+        }
+    }
+
+    /// Fetches per-shard and fleet-aggregate counters and percentiles.
+    pub fn stats(&mut self) -> Result<StatsReply, ClientError> {
+        write_frame(&mut self.stream, &Frame::Stats)?;
+        match read_frame(&mut self.stream)? {
+            Frame::StatsResponse(reply) => Ok(reply),
+            Frame::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Protocol(format!(
+                "expected a stats response, got frame type {}",
+                other.frame_type()
+            ))),
+        }
+    }
+
+    /// Resets every shard's counters, samples, and cache. Only sound
+    /// at quiescence (no concurrent traffic); the loadgen uses it
+    /// between mixes against an external server.
+    pub fn reset(&mut self) -> Result<(), ClientError> {
+        write_frame(&mut self.stream, &Frame::Reset)?;
+        match read_frame(&mut self.stream)? {
+            Frame::ResetResponse => Ok(()),
+            Frame::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Protocol(format!(
+                "expected a reset ack, got frame type {}",
+                other.frame_type()
+            ))),
+        }
+    }
+
+    /// Sends raw bytes and reads back one frame — the adversarial-test
+    /// entry point for frames the typed API cannot produce.
+    pub fn raw_exchange(&mut self, bytes: &[u8]) -> Result<Frame, ClientError> {
+        crate::server::send_raw_bytes(&mut self.stream, bytes)?;
+        Ok(read_frame(&mut self.stream)?)
+    }
+
+    /// The underlying stream (tests adjust timeouts through this).
+    pub fn stream(&mut self) -> &mut TcpStream {
+        &mut self.stream
+    }
+}

@@ -1,0 +1,167 @@
+//! Golden wire-format fixture: one canonical request/response pair,
+//! pinned byte for byte in `tests/golden/canonical_frames.hex` and
+//! referenced from the byte-layout tables in DESIGN.md §9. If an
+//! intentional codec change breaks this test, regenerate the fixture
+//! from the hex dumps in the failure message *and* update the §9
+//! tables in the same commit — the fixture exists so spec and code
+//! cannot drift apart silently.
+
+use llp_serve::codec::{decode_payload, encode_frame, Frame};
+use llp_service::{Model, ResponseBody, ServedFrom, SolveRequest, SolveResponse};
+use llp_workloads::scenario::RunBudget;
+
+const FIXTURE: &str = include_str!("golden/canonical_frames.hex");
+
+/// The canonical request: the same scenario/model/seed triple the
+/// DESIGN.md §9 worked example walks through.
+fn canonical_request() -> SolveRequest {
+    SolveRequest::scenario("lp_uniform", Model::Ram, RunBudget::Quick, 7)
+}
+
+/// The canonical response: a fresh solve with fixed meter values (the
+/// timing fields are arbitrary but frozen — the fixture pins encoding,
+/// not solver output).
+fn canonical_response() -> SolveResponse {
+    SolveResponse {
+        body: Ok(ResponseBody {
+            n: 3750,
+            objective: -1.0,
+            violations: 0,
+            iterations: 11,
+            passes: 0,
+            rounds: 0,
+            space_bits: 0,
+            comm_bits: 0,
+            max_round_bits: 0,
+            load_bits: 0,
+            total_load_bits: 0,
+        }),
+        served_from: ServedFrom::Solve,
+        queue_wait_ms: 0.25,
+        solve_ms: 1.5,
+        total_ms: 1.75,
+    }
+}
+
+/// Parses the fixture: `name:` introduces a frame, subsequent lines
+/// hold its hex bytes; `#` starts a comment.
+fn fixture_frames() -> Vec<(String, Vec<u8>)> {
+    let mut frames: Vec<(String, String)> = Vec::new();
+    for line in FIXTURE.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_suffix(':') {
+            frames.push((name.to_string(), String::new()));
+        } else {
+            let (_, hex) = frames
+                .last_mut()
+                .expect("fixture hex must follow a `name:` header");
+            hex.push_str(&line.replace(' ', ""));
+        }
+    }
+    frames
+        .into_iter()
+        .map(|(name, hex)| {
+            assert!(hex.len() % 2 == 0, "{name}: odd hex length");
+            let bytes = (0..hex.len() / 2)
+                .map(|i| {
+                    u8::from_str_radix(&hex[2 * i..2 * i + 2], 16)
+                        .unwrap_or_else(|e| panic!("{name}: bad hex at byte {i}: {e}"))
+                })
+                .collect();
+            (name, bytes)
+        })
+        .collect()
+}
+
+fn hex_dump(bytes: &[u8]) -> String {
+    bytes
+        .chunks(16)
+        .map(|chunk| {
+            chunk
+                .iter()
+                .map(|b| format!("{b:02x}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn canonical_frames_match_the_golden_fixture() {
+    let request = canonical_request();
+    let fingerprint = request.fingerprint();
+    let wire = [
+        (
+            "request",
+            encode_frame(&Frame::Solve {
+                fingerprint,
+                request,
+            }),
+        ),
+        (
+            "response",
+            encode_frame(&Frame::SolveResponse {
+                fingerprint,
+                response: canonical_response(),
+            }),
+        ),
+    ];
+    let golden = fixture_frames();
+    assert_eq!(golden.len(), wire.len(), "fixture must hold both frames");
+    for ((want_name, want), (name, bytes)) in golden.iter().zip(&wire) {
+        assert_eq!(want_name, name, "fixture frame order");
+        assert!(
+            want == bytes,
+            "{name} frame drifted from the golden fixture.\n\
+             If the codec change is intentional, update \
+             tests/golden/canonical_frames.hex and DESIGN.md §9.\n\
+             expected:\n{}\nactual:\n{}",
+            hex_dump(want),
+            hex_dump(bytes),
+        );
+    }
+}
+
+#[test]
+fn golden_fixture_bytes_decode_back() {
+    // The fixture is also a decode vector: both frames parse through
+    // the public decode path and reproduce the canonical structures.
+    let golden = fixture_frames();
+    for (name, bytes) in &golden {
+        let frame_len = u32::from_le_bytes(bytes[..4].try_into().unwrap());
+        assert_eq!(frame_len as usize, bytes.len() - 4, "{name}: length word");
+        let frame = decode_payload(bytes[5], &bytes[6..])
+            .unwrap_or_else(|e| panic!("{name}: golden bytes must decode: {e}"));
+        match (name.as_str(), frame) {
+            (
+                "request",
+                Frame::Solve {
+                    fingerprint,
+                    request,
+                },
+            ) => {
+                assert_eq!(fingerprint, canonical_request().fingerprint());
+                assert_eq!(request.fingerprint(), fingerprint);
+                assert_eq!(request.seed, 7);
+            }
+            (
+                "response",
+                Frame::SolveResponse {
+                    fingerprint,
+                    response,
+                },
+            ) => {
+                assert_eq!(fingerprint, canonical_request().fingerprint());
+                let want = canonical_response();
+                assert_eq!(response.body.as_ref().unwrap(), want.body.as_ref().unwrap());
+                assert_eq!(response.served_from, want.served_from);
+                assert_eq!(response.total_ms, want.total_ms);
+            }
+            (name, frame) => panic!("{name}: unexpected frame {frame:?}"),
+        }
+    }
+}

@@ -20,18 +20,24 @@
 //!   used by the `llp_bench` report grid.
 //! * [`ServiceStats`]/[`LatencySummary`] — counters and percentiles for
 //!   the load harness (`experiments serve`).
+//! * [`ShardRouter`]/[`HashRing`] — N independent services behind one
+//!   consistent-hash router over the request fingerprint; the in-process
+//!   substrate of the `llp_serve` network server (DESIGN.md §9).
 //!
 //! See DESIGN.md §7 for the full queue/batching/shed policy.
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod cache;
 pub mod exec;
 pub mod request;
 pub mod service;
+pub mod shard;
 pub mod stats;
 
 pub use exec::{solve_model, ExecOutcome, ExecParams};
 pub use request::{Model, RequestInput, ResponseBody, ServedFrom, SolveRequest, SolveResponse};
 pub use service::{Admission, Service, ServiceConfig, SubmitError, Ticket};
+pub use shard::{HashRing, ShardRouter};
 pub use stats::{LatencySummary, ServiceStats};

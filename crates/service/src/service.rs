@@ -279,6 +279,41 @@ impl Service {
         LatencySummary::from_samples(&samples)
     }
 
+    /// The raw end-to-end latency samples recorded so far (milliseconds,
+    /// admission order, capped at `MAX_TIMING_SAMPLES`). The shard layer
+    /// concatenates these across shards for fleet-aggregate percentiles —
+    /// percentiles of a union cannot be derived from per-shard summaries.
+    pub fn latency_samples(&self) -> Vec<f64> {
+        self.lock().latencies_ms.clone()
+    }
+
+    /// The raw queue-wait samples recorded so far (milliseconds).
+    pub fn queue_wait_samples(&self) -> Vec<f64> {
+        self.lock().queue_waits_ms.clone()
+    }
+
+    /// Graceful shutdown: stop admitting (subsequent submits return
+    /// [`SubmitError::Closed`]), let the workers drain the pending queue
+    /// and complete every in-flight ticket. Idempotent; the workers are
+    /// joined when the service drops.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.shared.cond.notify_all();
+    }
+
+    /// Resets the counters, latency samples, and result cache to a fresh
+    /// state (the workers and queue capacity are untouched). Intended
+    /// for load harnesses reusing one service across mixes; call only at
+    /// quiescence — results still in flight complete against the fresh
+    /// counters, which would break the conservation laws.
+    pub fn reset(&self) {
+        let mut st = self.lock();
+        st.stats = ServiceStats::default();
+        st.latencies_ms.clear();
+        st.queue_waits_ms.clear();
+        st.cache = LruCache::new(self.shared.cfg.cache_capacity);
+    }
+
     fn lock(&self) -> MutexGuard<'_, State> {
         self.shared.state.lock().expect("service state poisoned")
     }

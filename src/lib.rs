@@ -23,6 +23,9 @@
 //! * [`service`] — the in-process concurrent solve service: bounded
 //!   admission queue, worker pool, request batching, LRU result cache,
 //!   and per-request latency metering (DESIGN.md §7).
+//! * [`serve`] — the network layer: a TCP server speaking the
+//!   length-prefixed binary wire protocol of DESIGN.md §9 in front of
+//!   consistent-hash service shards, plus the matching client.
 //! * [`lowerbound`] — Section 5: the two-curve intersection problem, its
 //!   hard distribution, protocols, and the reduction to 2-D LP.
 //! * [`baselines`] — Chan–Chen, classic Clarkson, and naive baselines.
@@ -40,6 +43,7 @@ pub use llp_models as models;
 pub use llp_num as num;
 pub use llp_par as par;
 pub use llp_sampling as sampling;
+pub use llp_serve as serve;
 pub use llp_service as service;
 pub use llp_solver as solver;
 pub use llp_workloads as workloads;

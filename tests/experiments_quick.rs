@@ -39,6 +39,7 @@ fn serve_mixes_produce_a_valid_service_block() {
         cells: Vec::new(),
         service,
         columnar: Vec::new(),
+        net: Vec::new(),
     };
     report::validate(&r).expect("service block must validate");
     let hot = r.service.iter().find(|c| c.mix == "hot_key").unwrap();
@@ -136,6 +137,7 @@ fn t13c_columnar_scan_is_bit_identical() {
         cells: Vec::new(),
         service: Vec::new(),
         columnar: cells,
+        net: Vec::new(),
     };
     report::validate(&r).expect("columnar block must validate");
     let parsed = report::Report::from_json(&r.to_json()).expect("round-trip");

@@ -6,14 +6,15 @@ use llp_bench::report::{self, Cell, Report};
 use llp_bench::RunBudget;
 use llp_workloads::scenario::{registry, Family};
 
-/// A golden v3 document, written by hand (v2 added the `service` block,
-/// v3 the `columnar` block — older files no longer parse, by design: the
-/// schema version exists so consumers refuse them loudly). If a schema
-/// change breaks this parse, bump `report::SCHEMA_VERSION` and
-/// regenerate the golden — silently reinterpreting old trajectory files
-/// is the failure mode this test exists to catch.
-const GOLDEN_V3: &str = r#"{
-  "schema_version": 3,
+/// A golden v4 document, written by hand (v2 added the `service` block,
+/// v3 the `columnar` block, v4 the `net` block — older files no longer
+/// parse, by design: the schema version exists so consumers refuse them
+/// loudly). If a schema change breaks this parse, bump
+/// `report::SCHEMA_VERSION` and regenerate the golden — silently
+/// reinterpreting old trajectory files is the failure mode this test
+/// exists to catch.
+const GOLDEN_V4: &str = r#"{
+  "schema_version": 4,
   "label": "golden",
   "budget": "quick",
   "cells": [
@@ -41,12 +42,38 @@ const GOLDEN_V3: &str = r#"{
       "n": 1000000, "threads": 4, "violators": 14000,
       "aos_ms": 2.5, "soa_ms": 1.25, "speedup": 2.0, "identical": true
     }
+  ],
+  "net": [
+    {
+      "mix": "uniform", "shard": "0", "shards": 2, "workers": 2, "waves": 2,
+      "submitted": 42, "completed": 40, "shed": 1, "rejected": 1,
+      "solves": 10, "batched": 5, "cache_hits": 25,
+      "p50_ms": 0.5, "p95_ms": 2.0, "p99_ms": 3.0, "max_ms": 4.5,
+      "mean_ms": 0.75, "queue_p95_ms": 0.25,
+      "throughput_rps": 800.0, "wall_ms": 50.0
+    },
+    {
+      "mix": "uniform", "shard": "1", "shards": 2, "workers": 2, "waves": 2,
+      "submitted": 62, "completed": 62, "shed": 0, "rejected": 0,
+      "solves": 12, "batched": 8, "cache_hits": 42,
+      "p50_ms": 0.4, "p95_ms": 1.5, "p99_ms": 2.5, "max_ms": 3.0,
+      "mean_ms": 0.6, "queue_p95_ms": 0.2,
+      "throughput_rps": 1240.0, "wall_ms": 50.0
+    },
+    {
+      "mix": "uniform", "shard": "fleet", "shards": 2, "workers": 2, "waves": 2,
+      "submitted": 104, "completed": 102, "shed": 1, "rejected": 1,
+      "solves": 22, "batched": 13, "cache_hits": 67,
+      "p50_ms": 0.45, "p95_ms": 1.75, "p99_ms": 2.75, "max_ms": 4.5,
+      "mean_ms": 0.7, "queue_p95_ms": 0.22,
+      "throughput_rps": 2040.0, "wall_ms": 50.0
+    }
   ]
 }"#;
 
 #[test]
-fn golden_v3_document_parses() {
-    let r = Report::from_json(GOLDEN_V3).expect("golden must parse");
+fn golden_v4_document_parses() {
+    let r = Report::from_json(GOLDEN_V4).expect("golden must parse");
     assert_eq!(r.schema_version, report::SCHEMA_VERSION);
     assert_eq!(r.label, "golden");
     assert_eq!(r.budget, "quick");
@@ -68,23 +95,56 @@ fn golden_v3_document_parses() {
     assert_eq!((col.n, col.threads, col.violators), (1_000_000, 4, 14_000));
     assert!(col.identical);
     assert!((col.speedup - col.aos_ms / col.soa_ms).abs() < 1e-12);
+    // The net block: two shard rows plus the fleet aggregate, with both
+    // conservation laws intact (the same laws `validate` enforces).
+    assert_eq!(r.net.len(), 3);
+    let fleet = r.net.iter().find(|c| c.shard == "fleet").unwrap();
+    assert_eq!(fleet.shards, 2);
+    for c in &r.net {
+        assert_eq!(c.completed + c.shed + c.rejected, c.submitted);
+        assert_eq!(c.cache_hits + c.solves + c.batched, c.completed);
+    }
+    let shard_submitted: u64 = r
+        .net
+        .iter()
+        .filter(|c| c.shard != "fleet")
+        .map(|c| c.submitted)
+        .sum();
+    assert_eq!(shard_submitted, fleet.submitted);
 }
 
 #[test]
-fn golden_v1_and_v2_documents_are_refused() {
+fn golden_v1_v2_and_v3_documents_are_refused() {
     // A v1-era document: no `service` block, version 1. Both the parse
     // (missing field) and any forced validate must fail — old trajectory
     // files cannot be silently reinterpreted under a newer schema.
-    let v1 = GOLDEN_V3
-        .replace("\"schema_version\": 3", "\"schema_version\": 1")
+    let v1 = GOLDEN_V4
+        .replace("\"schema_version\": 4", "\"schema_version\": 1")
         .replace("],\n  \"service\"", "],\n  \"service_gone\"")
-        .replace("],\n  \"columnar\"", "],\n  \"columnar_gone\"");
+        .replace("],\n  \"columnar\"", "],\n  \"columnar_gone\"")
+        .replace("],\n  \"net\"", "],\n  \"net_gone\"");
     assert!(Report::from_json(&v1).is_err(), "v1 shape must not parse");
     // A v2-era document: version 2, no `columnar` block.
-    let v2 = GOLDEN_V3
-        .replace("\"schema_version\": 3", "\"schema_version\": 2")
-        .replace("],\n  \"columnar\"", "],\n  \"columnar_gone\"");
+    let v2 = GOLDEN_V4
+        .replace("\"schema_version\": 4", "\"schema_version\": 2")
+        .replace("],\n  \"columnar\"", "],\n  \"columnar_gone\"")
+        .replace("],\n  \"net\"", "],\n  \"net_gone\"");
     assert!(Report::from_json(&v2).is_err(), "v2 shape must not parse");
+    // A v3-era document: version 3, no `net` block — the shape the repo
+    // wrote before the serving layer landed.
+    let v3 = GOLDEN_V4
+        .replace("\"schema_version\": 4", "\"schema_version\": 3")
+        .replace("],\n  \"net\"", "],\n  \"net_gone\"");
+    assert!(Report::from_json(&v3).is_err(), "v3 shape must not parse");
+    // Even a v3 document that *happens* to carry a net block (forward-
+    // ported by hand) is refused by validate on the version number.
+    let v3_with_net = GOLDEN_V4.replace("\"schema_version\": 4", "\"schema_version\": 3");
+    if let Ok(r) = Report::from_json(&v3_with_net) {
+        assert!(
+            report::validate(&r).unwrap_err().contains("schema"),
+            "validate must refuse a v3 version number"
+        );
+    }
 }
 
 #[test]
@@ -162,6 +222,28 @@ fn report_serialize_parse_compare_is_lossless() {
             speedup: 1.0e308,
             identical: true,
         }],
+        net: vec![report::NetCell {
+            mix: "heavy_tail".to_string(),
+            shard: "fleet".to_string(),
+            shards: 4,
+            workers: 2,
+            waves: 2,
+            submitted: u64::MAX >> 12, // large but f64-exact
+            completed: (u64::MAX >> 12) - 10,
+            shed: 7,
+            rejected: 3,
+            solves: 100,
+            batched: 50,
+            cache_hits: (u64::MAX >> 12) - 160,
+            p50_ms: 0.1 + 0.2, // awkward float on purpose
+            p95_ms: 6.5,
+            p99_ms: 14.0,
+            max_ms: 1.0e3,
+            mean_ms: f64::MIN_POSITIVE,
+            queue_p95_ms: 0.5,
+            throughput_rps: 123_456.789,
+            wall_ms: 2048.0,
+        }],
     };
     let json = report.to_json();
     let parsed = Report::from_json(&json).expect("round-trip parse");
@@ -172,7 +254,7 @@ fn report_serialize_parse_compare_is_lossless() {
 
 #[test]
 fn truncated_and_mistyped_documents_are_rejected() {
-    let good = Report::from_json(GOLDEN_V3).unwrap().to_json();
+    let good = Report::from_json(GOLDEN_V4).unwrap().to_json();
     assert!(Report::from_json(&good[..good.len() - 2]).is_err());
     assert!(Report::from_json("{}").is_err(), "missing fields");
     assert!(Report::from_json(&good.replace("\"cells\"", "\"cell\"")).is_err());
