@@ -23,9 +23,9 @@ fn workspace_is_deny_clean() {
             .join("\n")
     );
     // Sanity on the discovery surface itself: the whole workspace is in
-    // view (19 crates + facade), not an accidentally-pruned subtree.
+    // view (20 crates + facade), not an accidentally-pruned subtree.
     assert!(
-        a.report.files_scanned >= 106,
+        a.report.files_scanned >= 125,
         "only {} files scanned — discovery lost crates",
         a.report.files_scanned
     );

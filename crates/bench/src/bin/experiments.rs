@@ -3,19 +3,26 @@
 //!
 //! Usage:
 //! ```text
-//! experiments [--quick] [--out PATH] [--label NAME] [--list]
+//! experiments [--quick] [--huge] [--out PATH] [--label NAME] [--list]
 //!             [--threads N] [--workers N] [--requests N]
 //!             [--shards N] [--port P] [--connect ADDR]
-//!             [--check PATH] [id ...]
+//!             [--ooc-dir DIR] [--check PATH] [id ...]
 //! ```
 //!
 //! * ids: any table id (`t1` … `t14`, `t13p`, `t13c`, `f1`, `f2`),
 //!   `tables` (all of them), `scenarios` (the registry grid), `serve`
 //!   (the service load mixes), `columnar` (the AoS-vs-SoA scan
 //!   comparison block), `net-serve` (the socket loadgen against a real
-//!   loopback `llp_serve` server), or `all` (everything; the default).
+//!   loopback `llp_serve` server), `ooc` (the file-backed out-of-core
+//!   harness), or `all` (everything; the default).
 //! * `--quick` shrinks every input size through one shared [`RunBudget`]
 //!   (the same budget the integration tests use).
+//! * `--huge` selects the out-of-core budget tier (`n ≥ 10^8`): only the
+//!   `ooc` harness accepts it, streaming-only, with the instance spilled
+//!   to a chunked store file and never materialized in RAM. Conflicts
+//!   with `--quick` and with every other experiment id.
+//! * `--ooc-dir DIR` places the chunked store files the `ooc` harness
+//!   writes (default `llp_ooc_chunks/`).
 //! * `--threads N` pins the `llp_par` scan-thread count via
 //!   `llp_par::set_threads` — it overrides the `LLP_THREADS` environment
 //!   variable for this run (precedence: `--threads` > `LLP_THREADS` >
@@ -36,9 +43,11 @@
 //! * `--check PATH` parses a previously written report back into
 //!   [`llp_bench::report::Report`] and validates it (grid coverage, zero
 //!   violations, cross-model objective agreement, service-counter
-//!   conservation, and the net block's per-shard *and* fleet-aggregate
-//!   conservation laws); exits non-zero on any failure. No experiments
-//!   run in this mode.
+//!   conservation, the net block's per-shard *and* fleet-aggregate
+//!   conservation laws, and the ooc block's byte meters — including
+//!   re-opening and re-checksumming every store file the ooc block
+//!   references, so a corrupted chunk store fails the gate); exits
+//!   non-zero on any failure. No experiments run in this mode.
 //! * `--list` prints the registry without running anything.
 
 #![forbid(unsafe_code)]
@@ -51,6 +60,7 @@ use llp_workloads::scenario::registry;
 
 fn main() {
     let mut quick = false;
+    let mut huge = false;
     let mut out: Option<String> = None;
     let mut label: Option<String> = None;
     let mut check: Option<String> = None;
@@ -60,6 +70,7 @@ fn main() {
     let mut shards: Option<usize> = None;
     let mut port: Option<u16> = None;
     let mut connect: Option<String> = None;
+    let mut ooc_dir = "llp_ooc_chunks".to_string();
     let mut list = false;
     let mut ids: Vec<String> = Vec::new();
 
@@ -67,6 +78,7 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" | "-q" => quick = true,
+            "--huge" => huge = true,
             "--out" => out = Some(expect_value(&mut args, "--out")),
             "--label" => label = Some(expect_value(&mut args, "--label")),
             "--check" => check = Some(expect_value(&mut args, "--check")),
@@ -76,15 +88,16 @@ fn main() {
             "--shards" => shards = Some(expect_usize(&mut args, "--shards")),
             "--port" => port = Some(expect_port(&mut args, "--port")),
             "--connect" => connect = Some(expect_value(&mut args, "--connect")),
+            "--ooc-dir" => ooc_dir = expect_value(&mut args, "--ooc-dir"),
             "--list" => list = true,
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: experiments [--quick] [--out PATH] [--label NAME] [--list] \
+                    "usage: experiments [--quick] [--huge] [--out PATH] [--label NAME] [--list] \
                      [--threads N] [--workers N] [--requests N] [--shards N] [--port P] \
-                     [--connect ADDR] [--check PATH] [id ...]"
+                     [--connect ADDR] [--ooc-dir DIR] [--check PATH] [id ...]"
                 );
                 eprintln!(
-                    "ids: {:?}, 'tables', 'scenarios', 'serve', 'columnar', 'net-serve', \
+                    "ids: {:?}, 'tables', 'scenarios', 'serve', 'columnar', 'net-serve', 'ooc', \
                      or 'all' (default)",
                     llp_bench::ALL
                 );
@@ -93,7 +106,22 @@ fn main() {
             id => ids.push(id.to_string()),
         }
     }
-    let budget = RunBudget::from_quick_flag(quick);
+    if huge && quick {
+        eprintln!("error: --huge and --quick are mutually exclusive");
+        std::process::exit(2);
+    }
+    if huge && ids.iter().any(|id| id != "ooc") {
+        eprintln!("error: --huge only applies to the 'ooc' experiment");
+        std::process::exit(2);
+    }
+    if huge && ids.is_empty() {
+        ids.push("ooc".into());
+    }
+    let budget = if huge {
+        RunBudget::Huge
+    } else {
+        RunBudget::from_quick_flag(quick)
+    };
     if let Some(n) = threads {
         // Install the scan-thread override for this (main) thread; the
         // service worker pool manages its own per-worker override via
@@ -132,18 +160,21 @@ fn main() {
     let mut run_serve = false;
     let mut run_columnar = false;
     let mut run_net = false;
+    let mut run_ooc = false;
     for id in &ids {
         match id.as_str() {
             "scenarios" => run_scenarios = true,
             "serve" => run_serve = true,
             "columnar" => run_columnar = true,
             "net-serve" => run_net = true,
+            "ooc" => run_ooc = true,
             "all" | "tables" => {
                 if id == "all" {
                     run_scenarios = true;
                     run_serve = true;
                     run_columnar = true;
                     run_net = true;
+                    run_ooc = true;
                 }
                 for table_id in llp_bench::ALL {
                     for table in llp_bench::run(table_id, budget) {
@@ -172,11 +203,12 @@ fn main() {
         && !run_serve
         && !run_columnar
         && !run_net
+        && !run_ooc
     {
         run_scenarios = true;
     }
 
-    if run_scenarios || run_serve || run_columnar || run_net {
+    if run_scenarios || run_serve || run_columnar || run_net || run_ooc {
         let label = label.unwrap_or_else(unix_timestamp);
         let mut report = if run_scenarios {
             report::run_scenarios(budget, &label)
@@ -189,6 +221,7 @@ fn main() {
                 service: Vec::new(),
                 columnar: Vec::new(),
                 net: Vec::new(),
+                ooc: Vec::new(),
             }
         };
         if run_scenarios {
@@ -224,6 +257,10 @@ fn main() {
             report.net = netserve::run_net_mixes(budget, &opts);
             println!("{}", report.net_summary_table().render());
         }
+        if run_ooc {
+            report.ooc = llp_bench::ooc::run_ooc(budget, std::path::Path::new(&ooc_dir));
+            println!("{}", report.ooc_summary_table().render());
+        }
         let path = out.unwrap_or_else(|| format!("BENCH_{label}.json"));
         std::fs::write(&path, report.to_json()).unwrap_or_else(|e| {
             eprintln!("error: cannot write {path}: {e}");
@@ -235,12 +272,13 @@ fn main() {
         }
         eprintln!(
             "wrote {path} ({} grid cells, {} scenarios, {} service mixes, {} columnar cells, \
-             {} net rows, budget {})",
+             {} net rows, {} ooc cells, budget {})",
             report.cells.len(),
             report.cells.len() / report::MODELS.len(),
             report.service.len(),
             report.columnar.len(),
             report.net.len(),
+            report.ooc.len(),
             report.budget
         );
     }
@@ -289,23 +327,26 @@ fn check_report(path: &str) {
         eprintln!("error: {path} does not parse as a Report: {e}");
         std::process::exit(1);
     });
-    match report::validate(&report) {
-        Ok(()) => {
-            println!(
-                "{path}: ok — schema v{}, {} grid cells, {} scenarios, {} service mixes, \
-                 {} columnar cells, {} net rows, budget {}",
-                report.schema_version,
-                report.cells.len(),
-                report.cells.len() / report::MODELS.len(),
-                report.service.len(),
-                report.columnar.len(),
-                report.net.len(),
-                report.budget
-            );
-        }
-        Err(e) => {
-            eprintln!("error: {path} is invalid: {e}");
-            std::process::exit(1);
-        }
+    if let Err(e) = report::validate(&report) {
+        eprintln!("error: {path} is invalid: {e}");
+        std::process::exit(1);
     }
+    // The ooc block names store files on disk: re-open and re-checksum
+    // every one, so a corrupted chunk store fails the gate.
+    if let Err(e) = report::verify_ooc_files(&report) {
+        eprintln!("error: {path}: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "{path}: ok — schema v{}, {} grid cells, {} scenarios, {} service mixes, \
+         {} columnar cells, {} net rows, {} ooc cells, budget {}",
+        report.schema_version,
+        report.cells.len(),
+        report.cells.len() / report::MODELS.len(),
+        report.service.len(),
+        report.columnar.len(),
+        report.net.len(),
+        report.ooc.len(),
+        report.budget
+    );
 }

@@ -22,6 +22,7 @@
 #![deny(missing_docs)]
 
 pub mod netserve;
+pub mod ooc;
 pub mod report;
 pub mod serve;
 

@@ -22,13 +22,15 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 /// Bumped whenever a [`Cell`]/[`Report`]/[`ServiceCell`]/[`ColumnarCell`]
-/// /[`NetCell`] field changes meaning; consumers (the perf-trajectory
-/// differ, CI `--check`) refuse unknown versions. v2 added the `service`
-/// block (the `experiments serve` load-harness results); v3 added the
-/// `columnar` block (AoS-vs-SoA violation-scan comparison cells); v4
-/// added the `net` block (`experiments net-serve` socket loadgen:
-/// per-shard rows plus a fleet-aggregate row per mix).
-pub const SCHEMA_VERSION: u64 = 4;
+/// /[`NetCell`]/[`OocCell`] field changes meaning; consumers (the
+/// perf-trajectory differ, CI `--check`) refuse unknown versions. v2
+/// added the `service` block (the `experiments serve` load-harness
+/// results); v3 added the `columnar` block (AoS-vs-SoA violation-scan
+/// comparison cells); v4 added the `net` block (`experiments net-serve`
+/// socket loadgen: per-shard rows plus a fleet-aggregate row per mix);
+/// v5 added the `ooc` block (`experiments ooc`: file-backed runs over
+/// chunked store files with bytes-written/bytes-read meters).
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// The models every scenario runs under, in report order.
 pub const MODELS: &[&str] = &["ram", "streaming", "coordinator", "mpc"];
@@ -217,6 +219,53 @@ pub struct NetCell {
     pub wall_ms: f64,
 }
 
+/// One file-backed out-of-core measurement (`experiments ooc`): a
+/// scenario streamed to a chunked store file (`llp_store`), then solved
+/// in one model with every constraint byte coming from that file. The
+/// streaming model reads the file pass by pass through
+/// `llp_bigdata::ooc::FileSource` (so `bytes_read` grows with `passes`);
+/// the other models load it once through the `llp_workloads` store
+/// loaders. `bytes_written` is metered at write time and must equal the
+/// file size the header predicts — [`validate`] enforces both meters.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OocCell {
+    /// Registry scenario name.
+    pub scenario: String,
+    /// Generator family wire name (also in the file's provenance header).
+    pub family: String,
+    /// `"ram" | "streaming" | "coordinator" | "mpc"`.
+    pub model: String,
+    /// Rows in the store file (materialized constraint/point count).
+    pub n: u64,
+    /// Ambient dimension of the scenario.
+    pub d: u64,
+    /// Stored row width (can exceed `d`, e.g. Chebyshev stores `d + 1`).
+    pub dim: u64,
+    /// The scenario's explicit generator seed.
+    pub seed: u64,
+    /// Rows per chunk frame.
+    pub chunk_len: u64,
+    /// File size the header predicts, bytes.
+    pub file_bytes: u64,
+    /// Bytes the chunk writer emitted (must equal `file_bytes`).
+    pub bytes_written: u64,
+    /// Bytes read from the file to feed this model's solve.
+    pub bytes_read: u64,
+    /// Stream passes (streaming model only; 0 elsewhere).
+    pub passes: u64,
+    /// Objective value of the returned solution.
+    pub objective: f64,
+    /// Violations of the returned solution over the full input (must be
+    /// 0; counted by a separate unmetered sweep of the file).
+    pub violations: u64,
+    /// Iterations of Algorithm 1.
+    pub iterations: u64,
+    /// Wall-clock time of the solve (file I/O included), milliseconds.
+    pub wall_ms: f64,
+    /// Path of the store file, as written.
+    pub path: String,
+}
+
 /// A full scenario-grid run: the file format of `BENCH_<label>.json`.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Report {
@@ -239,6 +288,10 @@ pub struct Report {
     /// row per shard plus one fleet row. Empty when that leg did not
     /// run.
     pub net: Vec<NetCell>,
+    /// File-backed out-of-core rows from `experiments ooc`: one row per
+    /// (scenario × model) solved from a chunked store file. Empty when
+    /// that leg did not run.
+    pub ooc: Vec<OocCell>,
 }
 
 impl Report {
@@ -427,6 +480,50 @@ impl Report {
         }
         t
     }
+
+    /// A human summary of the out-of-core runs (one row per cell).
+    pub fn ooc_summary_table(&self) -> crate::Table {
+        let mut t = crate::Table::new(
+            &format!(
+                "S5  Out-of-core: file-backed runs ({} budget, label {:?})",
+                self.budget, self.label
+            ),
+            &[
+                "scenario",
+                "model",
+                "n",
+                "chunk_len",
+                "file_MB",
+                "read_MB",
+                "passes",
+                "objective",
+                "viol",
+                "iters",
+                "ms",
+            ],
+        );
+        let mb = |bytes: u64| format!("{:.2}", bytes as f64 / (1024.0 * 1024.0));
+        for c in &self.ooc {
+            t.push(vec![
+                c.scenario.clone(),
+                c.model.clone(),
+                c.n.to_string(),
+                c.chunk_len.to_string(),
+                mb(c.file_bytes),
+                mb(c.bytes_read),
+                if c.passes == 0 {
+                    "-".to_string()
+                } else {
+                    c.passes.to_string()
+                },
+                format!("{:.6}", c.objective),
+                c.violations.to_string(),
+                c.iterations.to_string(),
+                format!("{:.1}", c.wall_ms),
+            ]);
+        }
+        t
+    }
 }
 
 /// Runs the full scenario × model grid at the given budget.
@@ -443,6 +540,7 @@ pub fn run_scenarios(budget: RunBudget, label: &str) -> Report {
         service: Vec::new(),
         columnar: Vec::new(),
         net: Vec::new(),
+        ooc: Vec::new(),
     }
 }
 
@@ -463,8 +561,10 @@ fn grid<P: ColumnarProblem>(sc: &Scenario, problem: &P, data: Vec<P::Constraint>
 }
 
 /// A deterministic per-(scenario, model) solver seed, decoupled from the
-/// generator seed so re-seeding one never perturbs the other.
-fn solver_seed(sc: &Scenario, model: &str) -> u64 {
+/// generator seed so re-seeding one never perturbs the other. Shared
+/// with the out-of-core harness (`crate::ooc`), so a file-backed run of
+/// the same (scenario, model) replays the grid cell's exact RNG stream.
+pub fn solver_seed(sc: &Scenario, model: &str) -> u64 {
     let mut h = sc.seed ^ 0x9e37_79b9_7f4a_7c15;
     for b in model.bytes() {
         h = h.wrapping_mul(0x100_0000_01b3).wrapping_add(u64::from(b));
@@ -603,12 +703,14 @@ pub fn validate(report: &Report) -> Result<(), String> {
         && report.service.is_empty()
         && report.columnar.is_empty()
         && report.net.is_empty()
+        && report.ooc.is_empty()
     {
-        return Err("empty report (no grid, service, columnar, or net cells)".into());
+        return Err("empty report (no grid, service, columnar, net, or ooc cells)".into());
     }
     validate_service(&report.service)?;
     validate_columnar(&report.columnar)?;
     validate_net(&report.net)?;
+    validate_ooc(&report.ooc)?;
     if report.cells.is_empty() {
         return Ok(());
     }
@@ -787,6 +889,109 @@ fn validate_net(cells: &[NetCell]) -> Result<(), String> {
     Ok(())
 }
 
+/// The ooc-block leg of [`validate`]: unique (scenario, model) keys,
+/// known model names, zero violations, a sane file geometry
+/// (`chunk_len > 0`, `bytes_written == file_bytes > 0`, non-empty
+/// path), honest read meters — the streaming model must have read at
+/// least `passes × file_bytes` and at most one extra file's worth (the
+/// open-time header validation), every other model exactly one file —
+/// and per-scenario objective agreement across models within
+/// [`OBJECTIVE_TOL`].
+fn validate_ooc(cells: &[OocCell]) -> Result<(), String> {
+    let mut keys: Vec<(&str, &str)> = cells
+        .iter()
+        .map(|c| (c.scenario.as_str(), c.model.as_str()))
+        .collect();
+    keys.sort_unstable();
+    keys.dedup();
+    if keys.len() != cells.len() {
+        return Err("duplicate ooc (scenario, model) cells".into());
+    }
+    for c in cells {
+        let ctx = |what: &str| format!("ooc cell {}/{}: {what}", c.scenario, c.model);
+        if !MODELS.contains(&c.model.as_str()) {
+            return Err(ctx("unknown model"));
+        }
+        if c.violations != 0 {
+            return Err(ctx(&format!("{} violations", c.violations)));
+        }
+        if c.path.is_empty() {
+            return Err(ctx("empty file path"));
+        }
+        if c.chunk_len == 0 || c.n == 0 {
+            return Err(ctx("zero chunk_len or row count"));
+        }
+        if c.file_bytes == 0 || c.bytes_written != c.file_bytes {
+            return Err(ctx(&format!(
+                "bytes_written {} != predicted file size {}",
+                c.bytes_written, c.file_bytes
+            )));
+        }
+        if c.model == "streaming" {
+            if c.passes == 0 {
+                return Err(ctx("streaming cell with zero passes"));
+            }
+            let floor = c.passes * c.file_bytes;
+            if c.bytes_read < floor || c.bytes_read > floor + c.file_bytes {
+                return Err(ctx(&format!(
+                    "bytes_read {} is not passes x file size ({} passes x {} bytes)",
+                    c.bytes_read, c.passes, c.file_bytes
+                )));
+            }
+        } else {
+            if c.passes != 0 {
+                return Err(ctx("non-streaming cell with stream passes"));
+            }
+            if c.bytes_read != c.file_bytes {
+                return Err(ctx(&format!(
+                    "bytes_read {} != file size {} (one full load expected)",
+                    c.bytes_read, c.file_bytes
+                )));
+            }
+        }
+    }
+    let mut scenarios: Vec<&str> = cells.iter().map(|c| c.scenario.as_str()).collect();
+    scenarios.sort_unstable();
+    scenarios.dedup();
+    for name in scenarios {
+        let group: Vec<&OocCell> = cells.iter().filter(|c| c.scenario == name).collect();
+        let reference = group[0].objective;
+        for c in &group[1..] {
+            let scale = reference.abs().max(c.objective.abs()).max(1.0);
+            if (c.objective - reference).abs() > OBJECTIVE_TOL * scale {
+                return Err(format!(
+                    "ooc scenario {name:?}: objective disagreement — {} ({}) vs {} ({})",
+                    group[0].model, reference, c.model, c.objective
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Re-opens every store file an ooc block references and re-verifies its
+/// header and chunk checksums end to end, also checking the on-disk size
+/// against the cell's recorded `file_bytes`. Separate from [`validate`]
+/// (which must stay filesystem-free so archived reports still validate):
+/// CI's `--check` calls this too, so a corrupted chunk store fails the
+/// gate.
+pub fn verify_ooc_files(report: &Report) -> Result<(), String> {
+    let mut paths: Vec<&OocCell> = report.ooc.iter().collect();
+    paths.sort_unstable_by(|a, b| a.path.cmp(&b.path));
+    paths.dedup_by(|a, b| a.path == b.path);
+    for c in paths {
+        let (header, bytes) = llp_store::verify_file(std::path::Path::new(&c.path))
+            .map_err(|e| format!("ooc file {}: {e}", c.path))?;
+        if bytes != c.file_bytes || header.file_bytes() != c.file_bytes {
+            return Err(format!(
+                "ooc file {}: on-disk size {bytes} != recorded file_bytes {}",
+                c.path, c.file_bytes
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// The columnar-block leg of [`validate`].
 fn validate_columnar(cells: &[ColumnarCell]) -> Result<(), String> {
     let mut keys: Vec<(u64, u64)> = cells.iter().map(|c| (c.n, c.threads)).collect();
@@ -922,6 +1127,33 @@ mod tests {
         vec![a, b, fleet]
     }
 
+    fn demo_ooc_cell(model: &str) -> OocCell {
+        let streaming = model == "streaming";
+        OocCell {
+            scenario: "s1".to_string(),
+            family: "random_lp".to_string(),
+            model: model.to_string(),
+            n: 4000,
+            d: 2,
+            dim: 2,
+            seed: 7,
+            chunk_len: 512,
+            file_bytes: 100_000,
+            bytes_written: 100_000,
+            bytes_read: if streaming {
+                18 * 100_000 + 70
+            } else {
+                100_000
+            },
+            passes: if streaming { 18 } else { 0 },
+            objective: -0.75,
+            violations: 0,
+            iterations: 9,
+            wall_ms: 3.5,
+            path: "llp_ooc_chunks/s1.llps".to_string(),
+        }
+    }
+
     fn demo_report() -> Report {
         let mut net = demo_net_mix("uniform");
         net.extend(demo_net_mix("hot_key"));
@@ -933,6 +1165,7 @@ mod tests {
             service: vec![demo_service_cell("uniform"), demo_service_cell("hot_key")],
             columnar: vec![demo_columnar_cell(1), demo_columnar_cell(4)],
             net,
+            ooc: MODELS.iter().map(|m| demo_ooc_cell(m)).collect(),
         }
     }
 
@@ -966,13 +1199,85 @@ mod tests {
     fn validate_accepts_partial_reports_but_not_empty_ones() {
         let mut r = demo_report();
         r.cells.clear();
-        assert_eq!(validate(&r), Ok(()), "serve+columnar+net-only is fine");
+        assert_eq!(validate(&r), Ok(()), "serve+columnar+net+ooc-only is fine");
         r.service.clear();
-        assert_eq!(validate(&r), Ok(()), "columnar+net-only is fine");
+        assert_eq!(validate(&r), Ok(()), "columnar+net+ooc-only is fine");
         r.columnar.clear();
-        assert_eq!(validate(&r), Ok(()), "net-only is fine");
+        assert_eq!(validate(&r), Ok(()), "net+ooc-only is fine");
         r.net.clear();
+        assert_eq!(validate(&r), Ok(()), "ooc-only is fine");
+        r.ooc.clear();
         assert!(validate(&r).unwrap_err().contains("empty report"));
+    }
+
+    #[test]
+    fn validate_rejects_bad_ooc_cells() {
+        // Violations are a hard failure.
+        let mut r = demo_report();
+        r.ooc[0].violations = 1;
+        assert!(validate(&r).unwrap_err().contains("violations"));
+        // The writer meter must equal the header-predicted file size.
+        let mut r = demo_report();
+        r.ooc[0].bytes_written -= 1;
+        assert!(validate(&r).unwrap_err().contains("bytes_written"));
+        // Streaming must read the file once per pass (plus at most one
+        // extra header-validation open).
+        let mut r = demo_report();
+        r.ooc[1].bytes_read = r.ooc[1].file_bytes;
+        assert!(validate(&r).unwrap_err().contains("passes x file size"));
+        // Non-streaming models load the file exactly once.
+        let mut r = demo_report();
+        r.ooc[0].bytes_read *= 2;
+        assert!(validate(&r).unwrap_err().contains("one full load"));
+        // A streaming cell records its pass count.
+        let mut r = demo_report();
+        r.ooc[1].passes = 0;
+        assert!(validate(&r).unwrap_err().contains("zero passes"));
+        // Objectives agree across models per scenario.
+        let mut r = demo_report();
+        r.ooc[3].objective = -0.80;
+        assert!(validate(&r).unwrap_err().contains("disagreement"));
+        // (scenario, model) keys are unique.
+        let mut r = demo_report();
+        let dup = r.ooc[0].clone();
+        r.ooc.push(dup);
+        assert!(validate(&r).unwrap_err().contains("duplicate ooc"));
+        // Unknown model names are refused.
+        let mut r = demo_report();
+        r.ooc[2].model = "warp".to_string();
+        assert!(validate(&r).unwrap_err().contains("unknown model"));
+    }
+
+    #[test]
+    fn verify_ooc_files_round_trips_a_real_file() {
+        use llp_workloads::scenario::{registry, RunBudget};
+        let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/tmp-ooc-tests/bench-verify");
+        std::fs::create_dir_all(&dir).unwrap();
+        let sc = registry(RunBudget::Quick)
+            .into_iter()
+            .find(|s| s.name == "lp_uniform")
+            .unwrap();
+        let path = dir.join("lp_uniform.llps");
+        let (header, written) = llp_workloads::write_scenario(&sc, &path, 256).unwrap();
+        let mut r = demo_report();
+        r.ooc.truncate(1);
+        r.ooc[0].path = path.to_string_lossy().into_owned();
+        r.ooc[0].file_bytes = header.file_bytes();
+        r.ooc[0].bytes_written = written;
+        assert_eq!(verify_ooc_files(&r), Ok(()));
+
+        // A recorded size that disagrees with the file is refused...
+        let mut lied = r.clone();
+        lied.ooc[0].file_bytes += 1;
+        lied.ooc[0].bytes_written += 1;
+        assert!(verify_ooc_files(&lied).unwrap_err().contains("size"));
+        // ...and so is a corrupted byte anywhere in the file.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let at = bytes.len() / 2;
+        bytes[at] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(verify_ooc_files(&r).is_err());
     }
 
     #[test]

@@ -22,10 +22,11 @@
 pub mod common;
 pub mod coordinator;
 pub mod mpc;
+pub mod ooc;
 pub mod streaming;
 
 /// Error type shared by the model implementations.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum BigDataError {
     /// The constraint set is infeasible.
     Infeasible,
@@ -36,6 +37,9 @@ pub enum BigDataError {
     /// An iteration failed under the Monte-Carlo policy of Remark 3.6
     /// (`FailurePolicy::Abort`).
     NetFailure,
+    /// The out-of-core chunk source failed (I/O error or a corrupt
+    /// store file surfaced mid-run; see `llp_store::StoreError`).
+    Store(String),
 }
 
 impl std::fmt::Display for BigDataError {
@@ -45,6 +49,7 @@ impl std::fmt::Display for BigDataError {
             BigDataError::Unbounded => write!(f, "unbounded"),
             BigDataError::IterationLimit => write!(f, "iteration limit exceeded"),
             BigDataError::NetFailure => write!(f, "epsilon-net failure (Monte-Carlo mode)"),
+            BigDataError::Store(e) => write!(f, "chunk source failed: {e}"),
         }
     }
 }

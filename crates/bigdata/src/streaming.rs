@@ -18,11 +18,11 @@
 //!   only improves ε-net coverage (ablation A2).
 
 use crate::common::{RunParams, WeightOracle};
+use crate::ooc::{ChunkSource, SliceSource};
 use crate::BigDataError;
 use llp_core::lptype::{ColumnarProblem, LpTypeProblem};
 use llp_core::ClarksonConfig;
-use llp_geom::ConstraintColumns;
-use llp_models::streaming::StreamSession;
+use llp_models::streaming::{SpaceMeter, StreamSession};
 use llp_num::ScaledF64;
 use llp_sampling::reservoir::WeightedReservoir;
 use llp_sampling::weighted::SortedTargetSampler;
@@ -72,34 +72,56 @@ pub fn solve<P: ColumnarProblem, R: Rng>(
     rng: &mut R,
 ) -> Result<(P::Solution, StreamingStats), BigDataError> {
     assert!(!data.is_empty(), "empty stream");
-    let mut session = StreamSession::new(data);
-    let out = match mode {
+    match mode {
         SamplingMode::TwoPassIid => {
             // The columnar mirror models the stream's storage layout, not
-            // extra memory: pass 2 sweeps it in stream order, so the pass
-            // accounting and weight recomputation are unchanged.
-            let columns = problem.to_columns(data);
-            run_two_pass(problem, data, &columns, &mut session, cfg, rng)
+            // extra memory: both passes sweep it in stream order, so the
+            // pass accounting and weight recomputation are unchanged.
+            let mut source = SliceSource::new(problem.to_columns(data));
+            run_two_pass(problem, &mut source, cfg, rng)
         }
-        SamplingMode::OnePassSpeculative => run_one_pass(problem, &mut session, cfg, rng),
-    };
-    out.map(|(sol, mut stats)| {
-        stats.passes = session.passes();
-        stats.peak_space_bits = session.space.peak_bits();
-        stats.peak_space_items = session.space.peak_items();
-        (sol, stats)
-    })
+        SamplingMode::OnePassSpeculative => {
+            let mut session = StreamSession::new(data);
+            run_one_pass(problem, &mut session, cfg, rng).map(|(sol, mut stats)| {
+                stats.passes = session.passes();
+                stats.peak_space_bits = session.space.peak_bits();
+                stats.peak_space_items = session.space.peak_items();
+                (sol, stats)
+            })
+        }
+    }
 }
 
-fn run_two_pass<P: ColumnarProblem, R: Rng>(
+/// Runs the two-pass streaming algorithm over an arbitrary
+/// [`ChunkSource`] — an in-RAM block or a chunked store file on disk.
+///
+/// Bit-identical to [`solve`] with [`SamplingMode::TwoPassIid`] on the
+/// same input: chunk boundaries never change which rows are sampled,
+/// which violate, or in what order weights are accumulated, because the
+/// scan kernels classify rows independently and
+/// [`ColumnarProblem::from_row`] inverts `to_columns` losslessly. After
+/// the call, `source.bytes_read()` tells how many real bytes the run
+/// pulled from backing storage.
+///
+/// # Panics
+/// Panics if the source is empty.
+pub fn solve_chunked<P: ColumnarProblem, S: ChunkSource, R: Rng>(
     problem: &P,
-    data: &[P::Constraint],
-    columns: &ConstraintColumns,
-    session: &mut StreamSession<'_, P::Constraint>,
+    source: &mut S,
     cfg: &ClarksonConfig,
     rng: &mut R,
 ) -> Result<(P::Solution, StreamingStats), BigDataError> {
-    let n = session.len();
+    assert!(!source.is_empty(), "empty stream");
+    run_two_pass(problem, source, cfg, rng)
+}
+
+fn run_two_pass<P: ColumnarProblem, S: ChunkSource, R: Rng>(
+    problem: &P,
+    source: &mut S,
+    cfg: &ClarksonConfig,
+    rng: &mut R,
+) -> Result<(P::Solution, StreamingStats), BigDataError> {
+    let n = source.len();
     let params = RunParams::derive(problem, n, cfg);
     let mut stats = StreamingStats {
         net_size: params.net_size,
@@ -107,39 +129,50 @@ fn run_two_pass<P: ColumnarProblem, R: Rng>(
         factor: params.factor,
         ..StreamingStats::default()
     };
+    let mut space = SpaceMeter::new();
     let mut oracle: WeightOracle<P> = WeightOracle::new(params.factor);
     let mut total_weight = ScaledF64::from_f64(n as f64);
     let cbits = problem.constraint_bits();
-    // Violator index buffer, reused across iterations (bounded by n, and
-    // by w(V) ≤ ε·w(S) on successful iterations in practice).
+    // Violator index buffer (chunk-local), reused across iterations.
     let mut violators: Vec<usize> = Vec::new();
+    // Row scratch for `from_row` reconstruction.
+    let mut coords: Vec<f64> = Vec::new();
 
     while stats.iterations < params.max_iterations {
         stats.iterations += 1;
 
         // ---- Pass 1: sample the ε-net i.i.d. proportional to weight. ----
+        stats.passes += 1;
+        source.begin_pass()?;
         let mut net: Vec<P::Constraint> = Vec::new();
         if params.net_size >= n {
-            session.space.alloc_raw(n as u64 * cbits, n as u64);
-            net.extend(session.pass().cloned());
+            space.alloc_raw(n as u64 * cbits, n as u64);
+            while let Some((_, chunk)) = source.next_chunk()? {
+                for i in 0..chunk.len() {
+                    let extra = chunk.row(i, &mut coords);
+                    net.push(problem.from_row(&coords, extra));
+                }
+            }
         } else {
             // Sorted uniform targets in [0, W); the sampler state is m
             // 128-bit scaled values.
-            session
-                .space
-                .alloc_raw(params.net_size as u64 * 128, params.net_size as u64);
+            space.alloc_raw(params.net_size as u64 * 128, params.net_size as u64);
             let mut sampler = SortedTargetSampler::new(params.net_size, total_weight, rng);
             // The last streamed element, iff it is not already in the net
             // (a streaming algorithm may always hold the current element).
-            let mut tail: Option<&P::Constraint> = None;
-            for c in session.pass() {
-                let hits = sampler.feed(oracle.weight(problem, c));
-                if hits > 0 {
-                    session.space.alloc_raw(cbits, 1);
-                    net.push(c.clone());
-                    tail = None;
-                } else {
-                    tail = Some(c);
+            let mut tail: Option<P::Constraint> = None;
+            while let Some((_, chunk)) = source.next_chunk()? {
+                for i in 0..chunk.len() {
+                    let extra = chunk.row(i, &mut coords);
+                    let c = problem.from_row(&coords, extra);
+                    let hits = sampler.feed(oracle.weight(problem, &c));
+                    if hits > 0 {
+                        space.alloc_raw(cbits, 1);
+                        net.push(c);
+                        tail = None;
+                    } else {
+                        tail = Some(c);
+                    }
                 }
             }
             // The bookkept total is maintained incrementally while the fed
@@ -149,45 +182,48 @@ fn run_two_pass<P: ColumnarProblem, R: Rng>(
             // half-open tail interval) so the net never silently shrinks.
             if sampler.finish() > 0 {
                 if let Some(c) = tail {
-                    session.space.alloc_raw(cbits, 1);
-                    net.push(c.clone());
+                    space.alloc_raw(cbits, 1);
+                    net.push(c);
                 }
             }
-            session
-                .space
-                .free_raw(params.net_size as u64 * 128, params.net_size as u64);
+            space.free_raw(params.net_size as u64 * 128, params.net_size as u64);
         }
 
         // ---- Basis of the net (local computation). ----
         let solution = problem
             .solve_subset(&net, rng)
             .map_err(BigDataError::from)?;
-        session
-            .space
-            .free_raw(net.len() as u64 * cbits, net.len() as u64);
+        space.free_raw(net.len() as u64 * cbits, net.len() as u64);
         drop(net);
 
         // ---- Pass 2: violation test + exact new total weight. ----
-        // The sweep runs over the columnar mirror of the stream in stream
-        // order; `pass()` still charges the pass. Weights are recomputed
-        // per violator in ascending stream order — the same ScaledF64
-        // additions, in the same order, as the element-wise loop.
-        let _ = session.pass();
-        violators.clear();
-        problem.scan_columns(&solution, &columns.full_view(), &mut violators);
+        // Each chunk is swept by the columnar kernel; violator weights are
+        // recomputed in ascending stream order — the same ScaledF64
+        // additions, in the same order, as a single whole-stream sweep.
+        stats.passes += 1;
+        source.begin_pass()?;
         let mut w_violators = ScaledF64::ZERO;
-        for &i in violators.iter() {
-            w_violators += oracle.weight(problem, &data[i]);
+        let mut violator_count = 0usize;
+        while let Some((_, chunk)) = source.next_chunk()? {
+            violators.clear();
+            problem.scan_columns(&solution, &chunk.full_view(), &mut violators);
+            violator_count += violators.len();
+            for &i in violators.iter() {
+                let extra = chunk.row(i, &mut coords);
+                let c = problem.from_row(&coords, extra);
+                w_violators += oracle.weight(problem, &c);
+            }
         }
-        let violator_count = violators.len();
 
         if w_violators.ratio(total_weight) <= params.eps {
             if violator_count == 0 {
+                stats.peak_space_bits = space.peak_bits();
+                stats.peak_space_items = space.peak_items();
                 return Ok((solution, stats));
             }
             stats.successful_iterations += 1;
             total_weight += w_violators * ScaledF64::from_f64(params.factor - 1.0);
-            session.space.alloc_raw(problem.solution_bits(), 1);
+            space.alloc_raw(problem.solution_bits(), 1);
             oracle.push(solution);
         } else if cfg.failure_policy == llp_core::clarkson::FailurePolicy::Abort {
             // Remark 3.6: the Monte-Carlo variant reports failure instead
@@ -419,6 +455,77 @@ mod tests {
         )
         .unwrap();
         assert_eq!(count_violations(&p, &ball, &pts), 0);
+    }
+
+    #[test]
+    fn chunked_file_run_is_bit_identical_to_in_ram() {
+        use crate::ooc::{ChunkSource, FileSource};
+        use llp_store::{ChunkWriter, FileHeader, Provenance};
+
+        let (p, cs) = random_lp(4000, 2, 21);
+        let columns = p.to_columns(&cs);
+
+        // Spill the instance to a store file in deliberately small chunks,
+        // so every pass crosses many chunk boundaries.
+        let dir =
+            std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/tmp-ooc-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("streaming_differential.llps");
+        let chunk_len = 257usize; // coprime to everything in sight
+        let header = FileHeader {
+            dim: columns.dim() as u32,
+            rows: columns.len() as u64,
+            chunk_len: chunk_len as u32,
+            provenance: Provenance {
+                family: "random_lp".into(),
+                n: columns.len() as u64,
+                d: columns.dim() as u32,
+                seed: 21,
+                r: 2,
+                skew: None,
+            },
+        };
+        let file = std::fs::File::create(&path).unwrap();
+        let mut w = ChunkWriter::create(std::io::BufWriter::new(file), header).unwrap();
+        let mut coords = Vec::new();
+        let mut at = 0usize;
+        while at < columns.len() {
+            let take = (columns.len() - at).min(chunk_len);
+            let mut chunk = llp_geom::ConstraintColumns::zeroed(columns.dim(), take);
+            for i in 0..take {
+                let extra = columns.row(at + i, &mut coords);
+                chunk.set_row(i, &coords, extra);
+            }
+            w.write_chunk(&chunk).unwrap();
+            at += take;
+        }
+        let file_bytes = w.finish().unwrap();
+
+        let cfg = ClarksonConfig::calibrated(2);
+        let mut rng_ram = StdRng::seed_from_u64(22);
+        let (sol_ram, stats_ram) =
+            solve(&p, &cs, &cfg, SamplingMode::TwoPassIid, &mut rng_ram).unwrap();
+
+        let mut source = FileSource::open(&path).unwrap();
+        let mut rng_file = StdRng::seed_from_u64(22);
+        let (sol_file, stats_file) = solve_chunked(&p, &mut source, &cfg, &mut rng_file).unwrap();
+
+        assert_eq!(stats_ram, stats_file, "pass/space accounting must match");
+        assert_eq!(
+            p.objective_value(&sol_ram).to_bits(),
+            p.objective_value(&sol_file).to_bits(),
+            "objectives must agree to the bit"
+        );
+        assert_eq!(count_violations(&p, &sol_file, &cs), 0);
+
+        // Every pass re-reads the whole file; `open` itself reads one
+        // extra header to validate the file up front.
+        let header_bytes = llp_store::open_file(&path).unwrap().bytes_read();
+        assert_eq!(
+            source.bytes_read(),
+            stats_file.passes * file_bytes + header_bytes,
+            "bytes-read meter must equal passes x file size"
+        );
     }
 
     #[test]

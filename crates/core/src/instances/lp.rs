@@ -77,6 +77,12 @@ impl ColumnarProblem for LpProblem {
         cols
     }
 
+    // Exact inverse of `to_columns`: `Halfspace::new` copies `a` and `b`
+    // verbatim (no normalization), so the round-trip is bit-lossless.
+    fn from_row(&self, coords: &[f64], extra: f64) -> Halfspace {
+        Halfspace::new(coords.to_vec(), extra)
+    }
+
     // Branch-light columnar twin of `violates`: `a·x` accumulates 4-wide
     // down the coordinate columns — per element the additions run in the
     // same ascending-j order as `dot(&h.a, x)`, so each slack is

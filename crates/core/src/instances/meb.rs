@@ -63,6 +63,13 @@ impl ColumnarProblem for MebProblem {
         cols
     }
 
+    // Exact inverse of `to_columns`: a point is its coordinates; the
+    // extra column is ignored (zeros by construction).
+    fn from_row(&self, coords: &[f64], _extra: f64) -> Point {
+        assert_eq!(coords.len(), self.dim);
+        coords.to_vec()
+    }
+
     // Columnar twin of `violates`: squared distances accumulate 4-wide
     // down the coordinate columns in the same ascending-j order as
     // `dist2(&ball.center, p)` (center minus point, like the AoS call),

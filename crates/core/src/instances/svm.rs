@@ -107,6 +107,16 @@ impl ColumnarProblem for SvmProblem {
         cols
     }
 
+    // Exact inverse of `to_columns`: the extra column holds the label as
+    // exactly `±1.0`, so the sign recovers `y` losslessly.
+    fn from_row(&self, coords: &[f64], extra: f64) -> SvmPoint {
+        assert_eq!(coords.len(), self.dim);
+        SvmPoint {
+            x: coords.to_vec(),
+            y: if extra > 0.0 { 1 } else { -1 },
+        }
+    }
+
     // Columnar twin of `violates`: `⟨u, x_i⟩` accumulates 4-wide down
     // the feature columns in the same ascending-j order as
     // `dot(u, &p.x)`, then one margin compare per element.

@@ -130,6 +130,22 @@ pub trait ColumnarProblem: LpTypeProblem {
         view: &llp_geom::ColumnsView<'_>,
         out: &mut Vec<usize>,
     );
+
+    /// Rebuilds one constraint from its columnar row — the exact inverse
+    /// of [`to_columns`](Self::to_columns): feeding a constraint through
+    /// `to_columns` and back through `from_row` must reproduce it
+    /// bit-for-bit. This is the ingestion path for the chunked on-disk
+    /// format (`llp_store`): file-backed runs reconstruct constraints
+    /// from decoded columns, and the round-trip exactness is what makes
+    /// them bit-identical to in-RAM runs.
+    ///
+    /// # Panics
+    /// Implementations may panic if `coords.len()` is not the problem's
+    /// column dimension.
+    // Not a constructor: the receiver is the problem *definition* (it
+    // knows the column dimension), the constraint is the return value.
+    #[allow(clippy::wrong_self_convention)]
+    fn from_row(&self, coords: &[f64], extra: f64) -> Self::Constraint;
 }
 
 /// The columnar twin of [`scan_violators_weighted`]: same chunk grid

@@ -102,6 +102,53 @@ impl ConstraintColumns {
     pub fn full_view(&self) -> ColumnsView<'_> {
         self.view(0, self.len)
     }
+
+    /// Assembles columns from their raw storage — the decode direction
+    /// of the on-disk block format (`llp_store`): `coords` is the
+    /// column-major coordinate array (`dim * len` values) and `extra`
+    /// the per-constraint scalar column (`len` values).
+    ///
+    /// # Panics
+    /// Panics if `dim == 0` or the array lengths are inconsistent.
+    pub fn from_raw(dim: usize, coords: Vec<f64>, extra: Vec<f64>) -> Self {
+        assert!(dim >= 1, "columns in zero dimensions");
+        assert_eq!(coords.len(), dim * extra.len(), "coords/extra mismatch");
+        let len = extra.len();
+        ConstraintColumns {
+            dim,
+            len,
+            coords,
+            extra,
+        }
+    }
+
+    /// The raw column-major coordinate array (`dim * len` values) — the
+    /// encode direction of the on-disk block format.
+    #[inline]
+    pub fn raw_coords(&self) -> &[f64] {
+        &self.coords
+    }
+
+    /// The raw extra column (`len` values).
+    #[inline]
+    pub fn raw_extra(&self) -> &[f64] {
+        &self.extra
+    }
+
+    /// Copies row `i`'s coordinates into `coords` (cleared first) and
+    /// returns its extra scalar — the inverse of [`set_row`](Self::set_row).
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn row(&self, i: usize, coords: &mut Vec<f64>) -> f64 {
+        assert!(i < self.len);
+        coords.clear();
+        for j in 0..self.dim {
+            coords.push(self.coords[j * self.len + i]);
+        }
+        self.extra[i]
+    }
 }
 
 /// A borrowed row range of a [`ConstraintColumns`]. Kernels read one
@@ -194,6 +241,25 @@ mod tests {
         let empty = c.view(2, 2);
         assert!(empty.is_empty());
         assert_eq!(empty.col(0), &[] as &[f64]);
+    }
+
+    #[test]
+    fn raw_round_trip_is_lossless() {
+        let c = demo();
+        let d =
+            ConstraintColumns::from_raw(c.dim(), c.raw_coords().to_vec(), c.raw_extra().to_vec());
+        assert_eq!(c, d);
+        let mut buf = Vec::new();
+        assert_eq!(d.row(1, &mut buf), 20.0);
+        assert_eq!(buf, vec![3.0, 4.0]);
+        assert_eq!(d.row(2, &mut buf), 30.0);
+        assert_eq!(buf, vec![5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "coords/extra mismatch")]
+    fn from_raw_checks_lengths() {
+        let _ = ConstraintColumns::from_raw(2, vec![0.0; 5], vec![0.0; 3]);
     }
 
     #[test]

@@ -418,6 +418,7 @@ fn put_request(w: &mut Vec<u8>, req: &SolveRequest) {
     w.push(match req.budget {
         RunBudget::Quick => 0,
         RunBudget::Full => 1,
+        RunBudget::Huge => 2,
     });
     put_u64(w, req.seed);
     match &req.input {
@@ -582,6 +583,7 @@ fn take_request(c: &mut Cursor<'_>) -> Result<SolveRequest, ReadError> {
     let budget = match c.u8()? {
         0 => RunBudget::Quick,
         1 => RunBudget::Full,
+        2 => RunBudget::Huge,
         other => return Err(malformed(format!("unknown budget byte {other}"))),
     };
     let seed = c.u64()?;

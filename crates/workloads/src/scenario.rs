@@ -24,6 +24,10 @@ pub enum RunBudget {
     Quick,
     /// The sizes recorded in the experiment tables.
     Full,
+    /// Out-of-core sizes (`n ≥ 10^8` for the largest scenarios): inputs
+    /// are streamed through the chunked store (`llp_store`), never
+    /// materialized. Only the `ooc` experiment accepts this tier.
+    Huge,
 }
 
 impl RunBudget {
@@ -41,11 +45,12 @@ impl RunBudget {
         self == RunBudget::Quick
     }
 
-    /// The budget's wire name (`"quick"` / `"full"`).
+    /// The budget's wire name (`"quick"` / `"full"` / `"huge"`).
     pub fn name(self) -> &'static str {
         match self {
             RunBudget::Quick => "quick",
             RunBudget::Full => "full",
+            RunBudget::Huge => "huge",
         }
     }
 
@@ -54,15 +59,17 @@ impl RunBudget {
         match s {
             "quick" => Some(RunBudget::Quick),
             "full" => Some(RunBudget::Full),
+            "huge" => Some(RunBudget::Huge),
             _ => None,
         }
     }
 
-    /// Picks the quick or full variant of a parameter.
+    /// Picks the quick or full variant of a parameter. The huge tier
+    /// reuses the full-tier value: it differs from full only in `n`.
     pub fn pick<T: Copy>(self, quick: T, full: T) -> T {
         match self {
             RunBudget::Quick => quick,
-            RunBudget::Full => full,
+            RunBudget::Full | RunBudget::Huge => full,
         }
     }
 
@@ -76,6 +83,9 @@ impl RunBudget {
         match self {
             RunBudget::Full => full_n,
             RunBudget::Quick => (full_n / 8).max(4_000).min(full_n),
+            // ×2048 lifts the largest full size (64 000) past 10^8 rows —
+            // the out-of-core regime the chunked store exists for.
+            RunBudget::Huge => full_n * 2_048,
         }
     }
 }
@@ -144,6 +154,13 @@ impl Family {
             Family::ClusteredMeb => "clustered_meb",
         }
     }
+
+    /// Parses a wire name back into a family — the inverse of
+    /// [`name`](Self::name), used when reconstructing a scenario from a
+    /// store file's provenance header.
+    pub fn parse(s: &str) -> Option<Family> {
+        Family::ALL.iter().copied().find(|f| f.name() == s)
+    }
 }
 
 /// One fully specified, regenerable workload.
@@ -195,6 +212,21 @@ impl ScenarioData {
     }
 }
 
+/// A scenario's problem *without* its constraints: what a consumer of a
+/// chunked store file needs to interpret the rows it reads. Rebuilt from
+/// the scenario parameters alone (replaying generator RNG draws where an
+/// objective is random), so it is bit-identical to the problem
+/// [`Scenario::generate`] pairs with the materialized data.
+#[derive(Clone, Debug)]
+pub enum ScenarioProblem {
+    /// A linear program.
+    Lp(LpProblem),
+    /// A hard-margin SVM instance.
+    Svm(SvmProblem),
+    /// A minimum-enclosing-ball instance.
+    Meb(MebProblem),
+}
+
 impl Scenario {
     /// Regenerates the instance from the scenario's own seed —
     /// byte-for-byte identical on every call.
@@ -241,6 +273,51 @@ impl Scenario {
             Family::ClusteredMeb => {
                 let pts = meb::clustered_cloud(self.n, self.d, 2.0, 5, self.seed);
                 ScenarioData::Meb(MebProblem::new(self.d), pts)
+            }
+        }
+    }
+
+    /// Rebuilds the scenario's problem without materializing any
+    /// constraints. Families with a random objective replay exactly the
+    /// RNG draws their generator performs before (or instead of)
+    /// emitting it, so the objective bits match [`generate`](Self::generate);
+    /// the rest have fixed or dimension-only problems.
+    pub fn problem(&self) -> ScenarioProblem {
+        use crate::lp::random_unit;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        match self.family {
+            Family::RandomLp | Family::SkewedPartitionLp | Family::AdversarialOrderLp => {
+                // random_lp draws the n constraint normals first, then the
+                // objective; binding-last only reorders the constraints.
+                let mut rng = StdRng::seed_from_u64(self.seed);
+                for _ in 0..self.n {
+                    let _ = random_unit(self.d, &mut rng);
+                }
+                ScenarioProblem::Lp(LpProblem::new(random_unit(self.d, &mut rng)))
+            }
+            Family::ChebyshevLp => {
+                // min t over (w, t): the objective is the fixed unit vector
+                // e_d in d+1 variables.
+                let mut obj = vec![0.0; self.d + 1];
+                obj[self.d] = 1.0;
+                ScenarioProblem::Lp(LpProblem::new(obj))
+            }
+            Family::DegenerateDuplicateLp => {
+                let mut obj = vec![0.0; self.d];
+                obj[0] = 1.0;
+                ScenarioProblem::Lp(LpProblem::new(obj))
+            }
+            Family::NearTieLp | Family::WeightExplosionLp => {
+                // Both generators draw the objective before any constraint.
+                let mut rng = StdRng::seed_from_u64(self.seed);
+                ScenarioProblem::Lp(LpProblem::new(random_unit(self.d, &mut rng)))
+            }
+            Family::SeparableSvm | Family::HeavyTailSvm => {
+                ScenarioProblem::Svm(SvmProblem::new(self.d))
+            }
+            Family::SphereShellMeb | Family::ClusteredMeb => {
+                ScenarioProblem::Meb(MebProblem::new(self.d))
             }
         }
     }
@@ -423,6 +500,50 @@ mod tests {
                 _ => panic!("family changed between generations"),
             }
         }
+    }
+
+    #[test]
+    fn reconstructed_problem_matches_generate() {
+        for sc in registry(RunBudget::Quick) {
+            match (sc.problem(), sc.generate()) {
+                (ScenarioProblem::Lp(p), ScenarioData::Lp(q, _)) => {
+                    assert_eq!(p.objective, q.objective, "{}", sc.name)
+                }
+                (ScenarioProblem::Svm(p), ScenarioData::Svm(q, _)) => {
+                    use llp_core::lptype::LpTypeProblem;
+                    assert_eq!(p.dim(), q.dim(), "{}", sc.name)
+                }
+                (ScenarioProblem::Meb(p), ScenarioData::Meb(q, _)) => {
+                    use llp_core::lptype::LpTypeProblem;
+                    assert_eq!(p.dim(), q.dim(), "{}", sc.name)
+                }
+                _ => panic!("{}: problem kind drifted from generate()", sc.name),
+            }
+        }
+    }
+
+    #[test]
+    fn huge_budget_reaches_out_of_core_sizes() {
+        assert_eq!(RunBudget::parse("huge"), Some(RunBudget::Huge));
+        assert_eq!(RunBudget::Huge.name(), "huge");
+        assert!(!RunBudget::Huge.is_quick());
+        let huge = registry(RunBudget::Huge);
+        let max_n = huge.iter().map(|s| s.n).max().unwrap();
+        assert!(max_n >= 100_000_000, "largest huge scenario n = {max_n}");
+        // Same scenarios as full — only n scales.
+        for (h, f) in huge.iter().zip(&registry(RunBudget::Full)) {
+            assert_eq!(h.name, f.name);
+            assert_eq!(h.seed, f.seed);
+            assert_eq!(h.n, f.n * 2_048);
+        }
+    }
+
+    #[test]
+    fn family_names_parse_back() {
+        for fam in Family::ALL {
+            assert_eq!(Family::parse(fam.name()), Some(*fam));
+        }
+        assert_eq!(Family::parse("no_such_family"), None);
     }
 
     #[test]

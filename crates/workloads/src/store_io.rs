@@ -1,0 +1,290 @@
+//! Scenario ↔ chunked-store glue: write any registry scenario to a
+//! store file without materializing it, and load files back as typed
+//! instances or site partitions.
+//!
+//! The store header's [`Provenance`] records the scenario's generator
+//! arguments (family, n, d, seed, r, skew), so a well-formed file is
+//! reproducible from its header alone — [`scenario_for_provenance`]
+//! inverts the record, and [`matches_scenario`] lets a verifier check
+//! that a file on disk really is the scenario a report cell claims.
+
+use crate::scenario::{Family, Scenario, ScenarioData, ScenarioProblem};
+use crate::stream::ScenarioStream;
+use llp_geom::ConstraintColumns;
+use llp_store::{
+    open_file, read_all, read_partitioned, ChunkWriter, FileHeader, Provenance, StoreError,
+};
+use std::fs::File;
+use std::io::BufWriter;
+use std::path::Path;
+
+/// The provenance record for a scenario — exactly the arguments that
+/// regenerate its bytes.
+pub fn provenance(sc: &Scenario) -> Provenance {
+    Provenance {
+        family: sc.family.name().to_string(),
+        n: sc.n as u64,
+        d: sc.d as u32,
+        seed: sc.seed,
+        r: sc.r,
+        skew: sc.skew,
+    }
+}
+
+/// Inverts a provenance record back into a scenario (named after its
+/// family — registry display names are not stored). Returns `None` for
+/// an unknown family name.
+pub fn scenario_for_provenance(p: &Provenance) -> Option<Scenario> {
+    let family = Family::parse(&p.family)?;
+    Some(Scenario {
+        name: family.name(),
+        family,
+        n: p.n as usize,
+        d: p.d as usize,
+        seed: p.seed,
+        r: p.r,
+        skew: p.skew,
+    })
+}
+
+/// True iff a file header's provenance and shape match the scenario:
+/// same generator arguments, and row/dim totals consistent with what
+/// the scenario's stream would emit.
+pub fn matches_scenario(h: &FileHeader, sc: &Scenario) -> bool {
+    let stream = ScenarioStream::new(sc);
+    h.provenance == provenance(sc)
+        && h.dim as usize == stream.dim()
+        && h.rows as usize == stream.rows()
+}
+
+/// Streams a scenario to a chunked store file in O(`chunk_len`) memory
+/// (the three permutation families buffer internally — see
+/// [`ScenarioStream`]). Returns the written header and the total bytes
+/// written; the byte count equals the file's size on disk.
+pub fn write_scenario(
+    sc: &Scenario,
+    path: &Path,
+    chunk_len: u32,
+) -> Result<(FileHeader, u64), StoreError> {
+    let mut stream = ScenarioStream::new(sc);
+    let header = FileHeader {
+        dim: stream.dim() as u32,
+        rows: stream.rows() as u64,
+        chunk_len,
+        provenance: provenance(sc),
+    };
+    let file =
+        File::create(path).map_err(|e| StoreError::Io(format!("{}: {e}", path.display())))?;
+    let mut w = ChunkWriter::create(BufWriter::new(file), header.clone())?;
+    let mut coords = Vec::with_capacity(stream.dim());
+    while stream.remaining() > 0 {
+        let take = stream.remaining().min(chunk_len as usize);
+        let mut chunk = ConstraintColumns::zeroed(stream.dim(), take);
+        for i in 0..take {
+            let extra = stream
+                .next_row(&mut coords)
+                .expect("stream yields `rows` rows");
+            chunk.set_row(i, &coords, extra);
+        }
+        w.write_chunk(&chunk)?;
+    }
+    let bytes = w.finish()?;
+    Ok((header, bytes))
+}
+
+/// Reads a scenario's file back as a fully materialized instance —
+/// the problem (reconstructed from the scenario parameters) plus the
+/// constraint sequence in stream order, bit-identical to
+/// [`Scenario::generate`]. Refuses a file whose header does not match
+/// the scenario. Returns the data and the bytes read.
+pub fn read_scenario_data(path: &Path, sc: &Scenario) -> Result<(ScenarioData, u64), StoreError> {
+    check_header(path, sc)?;
+    Ok(match sc.problem() {
+        ScenarioProblem::Lp(p) => {
+            let (cs, _, bytes) = read_all(path, &p)?;
+            (ScenarioData::Lp(p, cs), bytes)
+        }
+        ScenarioProblem::Svm(p) => {
+            let (pts, _, bytes) = read_all(path, &p)?;
+            (ScenarioData::Svm(p, pts), bytes)
+        }
+        ScenarioProblem::Meb(p) => {
+            let (pts, _, bytes) = read_all(path, &p)?;
+            (ScenarioData::Meb(p, pts), bytes)
+        }
+    })
+}
+
+/// A scenario instance loaded as `k` contiguous site partitions — the
+/// coordinator/MPC ingestion path. Sizes follow the scenario's own
+/// prescription (geometrically skewed when `skew` is recorded), so a
+/// file replays the exact partition layout it was generated for.
+#[derive(Clone, Debug)]
+pub enum ScenarioPartitions {
+    /// A partitioned linear program.
+    Lp(
+        llp_core::instances::lp::LpProblem,
+        Vec<Vec<llp_geom::Halfspace>>,
+    ),
+    /// A partitioned SVM instance.
+    Svm(
+        llp_core::instances::svm::SvmProblem,
+        Vec<Vec<llp_core::instances::svm::SvmPoint>>,
+    ),
+    /// A partitioned MEB instance.
+    Meb(llp_core::instances::meb::MebProblem, Vec<Vec<Vec<f64>>>),
+}
+
+/// Reads a scenario's file into `k` site partitions (see
+/// [`ScenarioPartitions`]). Returns the partitions and the bytes read.
+pub fn read_scenario_partitioned(
+    path: &Path,
+    sc: &Scenario,
+    k: usize,
+) -> Result<(ScenarioPartitions, u64), StoreError> {
+    let header = check_header(path, sc)?;
+    let sizes = sc.partition_sizes(header.rows as usize, k);
+    Ok(match sc.problem() {
+        ScenarioProblem::Lp(p) => {
+            let (parts, _, bytes) = read_partitioned(path, &p, &sizes)?;
+            (ScenarioPartitions::Lp(p, parts), bytes)
+        }
+        ScenarioProblem::Svm(p) => {
+            let (parts, _, bytes) = read_partitioned(path, &p, &sizes)?;
+            (ScenarioPartitions::Svm(p, parts), bytes)
+        }
+        ScenarioProblem::Meb(p) => {
+            let (parts, _, bytes) = read_partitioned(path, &p, &sizes)?;
+            (ScenarioPartitions::Meb(p, parts), bytes)
+        }
+    })
+}
+
+/// Opens the file, validates its header, and refuses a provenance that
+/// does not match the scenario.
+fn check_header(path: &Path, sc: &Scenario) -> Result<FileHeader, StoreError> {
+    let reader = open_file(path)?;
+    let header = reader.header().clone();
+    if !matches_scenario(&header, sc) {
+        return Err(StoreError::HeaderCorrupt(format!(
+            "provenance mismatch: file records {:?}, expected scenario {} ({:?})",
+            header.provenance,
+            sc.name,
+            provenance(sc)
+        )));
+    }
+    Ok(header)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{registry, RunBudget};
+    use std::path::PathBuf;
+
+    fn scratch_dir() -> PathBuf {
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/tmp-ooc-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn write_then_read_round_trips_every_family() {
+        // File-backed ingestion ≡ in-RAM generation, for every registry
+        // family, at a chunk length that forces many chunks plus a
+        // remainder.
+        let dir = scratch_dir();
+        for mut sc in registry(RunBudget::Quick) {
+            sc.n = (sc.n / 16).max(64); // keep the per-family files small
+            let path = dir.join(format!("roundtrip_{}.llps", sc.name));
+            let (header, written) = write_scenario(&sc, &path, 1000).unwrap();
+            assert_eq!(written, header.file_bytes(), "{}", sc.name);
+            assert_eq!(
+                written,
+                std::fs::metadata(&path).unwrap().len(),
+                "{}",
+                sc.name
+            );
+            assert!(matches_scenario(&header, &sc));
+
+            let (data, bytes_read) = read_scenario_data(&path, &sc).unwrap();
+            assert_eq!(bytes_read, written, "{}", sc.name);
+            match (data, sc.generate()) {
+                (ScenarioData::Lp(_, got), ScenarioData::Lp(_, want)) => {
+                    assert_eq!(got, want, "{}", sc.name)
+                }
+                (ScenarioData::Svm(_, got), ScenarioData::Svm(_, want)) => {
+                    assert_eq!(got, want, "{}", sc.name)
+                }
+                (ScenarioData::Meb(_, got), ScenarioData::Meb(_, want)) => {
+                    assert_eq!(got, want, "{}", sc.name)
+                }
+                _ => panic!("{}: kind drifted", sc.name),
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_read_matches_in_ram_partitioning() {
+        use crate::partition::partition_by_sizes;
+        let dir = scratch_dir();
+        let mut sc = registry(RunBudget::Quick)
+            .into_iter()
+            .find(|s| s.name == "lp_skewed_sites")
+            .unwrap();
+        sc.n = 2_000;
+        let path = dir.join("partitioned_skewed.llps");
+        write_scenario(&sc, &path, 512).unwrap();
+        let (parts, _) = read_scenario_partitioned(&path, &sc, 8).unwrap();
+        let ScenarioPartitions::Lp(_, got) = parts else {
+            panic!("kind drifted");
+        };
+        let ScenarioData::Lp(_, cs) = sc.generate() else {
+            panic!("kind drifted");
+        };
+        let sizes = sc.partition_sizes(cs.len(), 8);
+        let want = partition_by_sizes(cs, &sizes);
+        assert_eq!(got, want, "skewed site layout must replay from the file");
+        assert!(
+            got.last().unwrap().len() > got[0].len(),
+            "skew recorded in the file must survive the round trip"
+        );
+    }
+
+    #[test]
+    fn provenance_inverts_to_the_scenario() {
+        for sc in registry(RunBudget::Quick) {
+            let p = provenance(&sc);
+            let back = scenario_for_provenance(&p).unwrap();
+            assert_eq!(back.family, sc.family);
+            assert_eq!(back.n, sc.n);
+            assert_eq!(back.d, sc.d);
+            assert_eq!(back.seed, sc.seed);
+            assert_eq!(back.r, sc.r);
+            assert_eq!(back.skew, sc.skew);
+        }
+        let mut p = provenance(&registry(RunBudget::Quick)[0]);
+        p.family = "no_such_family".into();
+        assert!(scenario_for_provenance(&p).is_none());
+    }
+
+    #[test]
+    fn mismatched_scenario_is_refused() {
+        let dir = scratch_dir();
+        let reg = registry(RunBudget::Quick);
+        let mut sc = reg[0].clone();
+        sc.n = 500;
+        let path = dir.join("mismatch.llps");
+        write_scenario(&sc, &path, 128).unwrap();
+        let mut other = sc.clone();
+        other.seed ^= 1;
+        assert!(matches!(
+            read_scenario_data(&path, &other),
+            Err(StoreError::HeaderCorrupt(_))
+        ));
+        assert!(matches!(
+            read_scenario_partitioned(&path, &other, 8),
+            Err(StoreError::HeaderCorrupt(_))
+        ));
+    }
+}

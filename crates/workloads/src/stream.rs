@@ -1,0 +1,372 @@
+//! Streaming scenario generation: row-at-a-time workload synthesis.
+//!
+//! [`ScenarioStream`] yields a registry scenario's constraint rows in
+//! columnar form (`coords` + `extra`, exactly what
+//! `ColumnarProblem::to_columns` would store) **in stream order and
+//! bit-identically to [`Scenario::generate`]**, without materializing
+//! the instance. That is what lets the chunked store (`llp_store`)
+//! write a `n ≥ 10^8` file in O(chunk) memory.
+//!
+//! Eight families stream natively by replaying their generator's RNG
+//! draw sequence one row at a time. The three permutation families
+//! (degenerate duplicates, weight-explosion needles, binding-last
+//! order) are defined by a global shuffle or sort of the whole
+//! instance, so they *cannot* be produced row-at-a-time; they fall
+//! back to an internal buffer (materialize once, then stream). The
+//! differential test below pins stream ≡ generate for every registry
+//! family, so the native replays cannot drift from the generators.
+
+use crate::lp::random_unit;
+use crate::scenario::{Family, Scenario, ScenarioData, ScenarioProblem};
+use llp_core::lptype::ColumnarProblem;
+use llp_geom::ConstraintColumns;
+use llp_num::linalg::{dot, norm};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A row-at-a-time source for one scenario's constraints, in stream
+/// order. `dim` is the *column* dimension (Chebyshev lifts `d` to
+/// `d + 1`); `rows` is the exact number of rows the stream will yield
+/// (it can differ from `Scenario::n`, e.g. near-tie appends a box).
+pub struct ScenarioStream {
+    dim: usize,
+    rows: usize,
+    emitted: usize,
+    inner: Inner,
+}
+
+enum Inner {
+    /// Sphere-tangent halfspaces `a·x ≤ 1` (also the skewed-sites
+    /// scenario — skew changes the partition, not the bytes).
+    RandomLp { rng: StdRng, d: usize },
+    /// Chebyshev regression: two rows per data point; `pending` holds
+    /// the negative-side row between the pair.
+    Chebyshev {
+        rng: StdRng,
+        d: usize,
+        w_star: Vec<f64>,
+        noise: f64,
+        pending: Option<(Vec<f64>, f64)>,
+    },
+    /// Near-ties at the optimum, then the `2d` bounding-box rows.
+    NearTie {
+        rng: StdRng,
+        d: usize,
+        c: Vec<f64>,
+        x_star: Vec<f64>,
+        main_left: usize,
+        box_emitted: usize,
+    },
+    /// Labeled SVM clouds (benign and heavy-tailed).
+    Svm {
+        rng: StdRng,
+        d: usize,
+        u: Vec<f64>,
+        margin: f64,
+        heavy: bool,
+    },
+    /// Points on a sphere.
+    Shell { rng: StdRng, d: usize, radius: f64 },
+    /// Clustered MEB cloud: two anchors, then clipped cluster points.
+    Clustered {
+        rng: StdRng,
+        d: usize,
+        centers: Vec<Vec<f64>>,
+        radius: f64,
+        spread: f64,
+    },
+    /// Materialize-once fallback for the permutation families.
+    Buffered { columns: ConstraintColumns },
+}
+
+impl ScenarioStream {
+    /// Opens a stream over the scenario's rows.
+    pub fn new(sc: &Scenario) -> Self {
+        let (dim, rows, inner) = match sc.family {
+            Family::RandomLp | Family::SkewedPartitionLp => (
+                sc.d,
+                sc.n,
+                Inner::RandomLp {
+                    rng: StdRng::seed_from_u64(sc.seed),
+                    d: sc.d,
+                },
+            ),
+            Family::ChebyshevLp => {
+                // chebyshev_regression(n/2, d, 0.05, seed): w_star first.
+                let mut rng = StdRng::seed_from_u64(sc.seed);
+                let w_star: Vec<f64> = (0..sc.d).map(|_| rng.random_range(-2.0..2.0)).collect();
+                (
+                    sc.d + 1,
+                    (sc.n / 2) * 2,
+                    Inner::Chebyshev {
+                        rng,
+                        d: sc.d,
+                        w_star,
+                        noise: 0.05,
+                        pending: None,
+                    },
+                )
+            }
+            Family::NearTieLp => {
+                // near_tie_lp(n, d, seed): the objective c comes first.
+                let mut rng = StdRng::seed_from_u64(sc.seed);
+                let c = random_unit(sc.d, &mut rng);
+                let x_star: Vec<f64> = c.iter().map(|v| -v).collect();
+                (
+                    sc.d,
+                    sc.n + 2 * sc.d,
+                    Inner::NearTie {
+                        rng,
+                        d: sc.d,
+                        c,
+                        x_star,
+                        main_left: sc.n,
+                        box_emitted: 0,
+                    },
+                )
+            }
+            Family::SeparableSvm | Family::HeavyTailSvm => {
+                // separable_clouds / heavy_tailed_clouds(n, d, 0.5, seed):
+                // the true normal u comes first.
+                let mut rng = StdRng::seed_from_u64(sc.seed);
+                let u = random_unit(sc.d, &mut rng);
+                (
+                    sc.d,
+                    sc.n,
+                    Inner::Svm {
+                        rng,
+                        d: sc.d,
+                        u,
+                        margin: 0.5,
+                        heavy: sc.family == Family::HeavyTailSvm,
+                    },
+                )
+            }
+            Family::SphereShellMeb => (
+                sc.d,
+                sc.n,
+                Inner::Shell {
+                    rng: StdRng::seed_from_u64(sc.seed),
+                    d: sc.d,
+                    radius: 3.0,
+                },
+            ),
+            Family::ClusteredMeb => {
+                // clustered_cloud(n, d, 2.0, 5, seed): cluster centers first.
+                let mut rng = StdRng::seed_from_u64(sc.seed);
+                let radius = 2.0;
+                let centers: Vec<Vec<f64>> = (0..5)
+                    .map(|_| {
+                        let dir = random_unit(sc.d, &mut rng);
+                        let r = rng.random_range(0.0..0.5 * radius);
+                        dir.into_iter().map(|v| v * r).collect()
+                    })
+                    .collect();
+                (
+                    sc.d,
+                    sc.n,
+                    Inner::Clustered {
+                        rng,
+                        d: sc.d,
+                        centers,
+                        radius,
+                        spread: 0.01 * radius,
+                    },
+                )
+            }
+            Family::DegenerateDuplicateLp
+            | Family::WeightExplosionLp
+            | Family::AdversarialOrderLp => {
+                // Global shuffle/sort families: materialize once, stream
+                // from the buffer.
+                let columns = match (sc.problem(), sc.generate()) {
+                    (ScenarioProblem::Lp(p), ScenarioData::Lp(_, cs)) => p.to_columns(&cs),
+                    _ => unreachable!("permutation families are LPs"),
+                };
+                (sc.d, columns.len(), Inner::Buffered { columns })
+            }
+        };
+        ScenarioStream {
+            dim,
+            rows,
+            emitted: 0,
+            inner,
+        }
+    }
+
+    /// The column dimension of every yielded row.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The exact number of rows the stream yields in total.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Rows not yet yielded.
+    pub fn remaining(&self) -> usize {
+        self.rows - self.emitted
+    }
+
+    /// Yields the next row into `coords` (cleared first) and returns its
+    /// extra scalar, or `None` when the stream is exhausted.
+    pub fn next_row(&mut self, coords: &mut Vec<f64>) -> Option<f64> {
+        if self.emitted == self.rows {
+            return None;
+        }
+        let i = self.emitted;
+        self.emitted += 1;
+        coords.clear();
+        Some(match &mut self.inner {
+            Inner::RandomLp { rng, d } => {
+                coords.extend_from_slice(&random_unit(*d, rng));
+                1.0
+            }
+            Inner::Chebyshev {
+                rng,
+                d,
+                w_star,
+                noise,
+                pending,
+            } => {
+                if let Some((neg, b)) = pending.take() {
+                    coords.extend_from_slice(&neg);
+                    return Some(b);
+                }
+                let z: Vec<f64> = (0..*d).map(|_| rng.random_range(-1.0..1.0)).collect();
+                let y = dot(w_star, &z) + rng.random_range(-*noise..=*noise);
+                let mut neg: Vec<f64> = z.iter().map(|v| -v).collect();
+                neg.push(-1.0);
+                *pending = Some((neg, -y));
+                coords.extend_from_slice(&z);
+                coords.push(-1.0);
+                y
+            }
+            Inner::NearTie {
+                rng,
+                d,
+                c,
+                x_star,
+                main_left,
+                box_emitted,
+            } => {
+                if *main_left > 0 {
+                    *main_left -= 1;
+                    let spread = 1e-3;
+                    let jitter = 1e-9;
+                    let g = random_unit(*d, rng);
+                    let raw: Vec<f64> = (0..*d).map(|j| -c[j] + spread * g[j]).collect();
+                    let nn = norm(&raw);
+                    coords.extend(raw.into_iter().map(|v| v / nn));
+                    dot(coords, x_star) + rng.random_range(0.0..jitter)
+                } else {
+                    // Box faces: +e_j then −e_j for each j, rhs 2.
+                    let j = *box_emitted / 2;
+                    let sign = if *box_emitted % 2 == 0 { 1.0 } else { -1.0 };
+                    *box_emitted += 1;
+                    coords.resize(*d, 0.0);
+                    coords[j] = sign;
+                    2.0
+                }
+            }
+            Inner::Svm {
+                rng,
+                d,
+                u,
+                margin,
+                heavy,
+            } => {
+                let y: i8 = if rng.random_bool(0.5) { 1 } else { -1 };
+                let want = if *heavy {
+                    let v: f64 = rng.random_range(0.0..1.0);
+                    let t = (1.0 - v).powf(-1.0 / 1.2).min(1e5);
+                    coords.extend((0..*d).map(|_| t * rng.random_range(-1.0..1.0)));
+                    f64::from(y) * (*margin + rng.random_range(0.0..1.0) * t)
+                } else {
+                    coords.extend((0..*d).map(|_| rng.random_range(-3.0..3.0)));
+                    f64::from(y) * (*margin + rng.random_range(0.0..2.0))
+                };
+                let shift = want - dot(u, coords);
+                for k in 0..*d {
+                    coords[k] += shift * u[k];
+                }
+                f64::from(y)
+            }
+            Inner::Shell { rng, d, radius } => {
+                coords.extend(random_unit(*d, rng).into_iter().map(|v| v * *radius));
+                0.0
+            }
+            Inner::Clustered {
+                rng,
+                d,
+                centers,
+                radius,
+                spread,
+            } => {
+                if i < 2 {
+                    // The antipodal anchor pair ±radius·e_1.
+                    coords.resize(*d, 0.0);
+                    coords[0] = if i == 0 { *radius } else { -*radius };
+                } else {
+                    let c = &centers[rng.random_range(0..centers.len())];
+                    coords.extend((0..*d).map(|j| c[j] + rng.random_range(-*spread..*spread)));
+                    let nn = norm(coords);
+                    if nn > *radius {
+                        coords.iter_mut().for_each(|v| *v *= *radius / nn);
+                    }
+                }
+                0.0
+            }
+            Inner::Buffered { columns } => columns.row(i, coords),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{registry, RunBudget, ScenarioData, ScenarioProblem};
+
+    /// The load-bearing differential: for every registry scenario, the
+    /// stream yields exactly the rows `generate()` + `to_columns` would
+    /// store — same order, same f64 bits. This is what entitles the
+    /// chunked store to claim file-backed runs are bit-identical to
+    /// in-RAM runs.
+    #[test]
+    fn stream_is_bit_identical_to_generate() {
+        for sc in registry(RunBudget::Quick) {
+            let columns = match (sc.problem(), sc.generate()) {
+                (ScenarioProblem::Lp(p), ScenarioData::Lp(_, cs)) => p.to_columns(&cs),
+                (ScenarioProblem::Svm(p), ScenarioData::Svm(_, pts)) => p.to_columns(&pts),
+                (ScenarioProblem::Meb(p), ScenarioData::Meb(_, pts)) => p.to_columns(&pts),
+                _ => panic!("{}: problem kind drifted", sc.name),
+            };
+            let mut stream = ScenarioStream::new(&sc);
+            assert_eq!(stream.rows(), columns.len(), "{}: row count", sc.name);
+            assert_eq!(stream.dim(), columns.dim(), "{}: column dim", sc.name);
+            let mut want = Vec::new();
+            let mut got = Vec::new();
+            for i in 0..columns.len() {
+                let want_extra = columns.row(i, &mut want);
+                let got_extra = stream
+                    .next_row(&mut got)
+                    .unwrap_or_else(|| panic!("{}: stream ended at row {i}", sc.name));
+                assert_eq!(
+                    want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "{}: row {i} coords",
+                    sc.name
+                );
+                assert_eq!(
+                    want_extra.to_bits(),
+                    got_extra.to_bits(),
+                    "{}: row {i} extra",
+                    sc.name
+                );
+            }
+            assert_eq!(stream.next_row(&mut got), None, "{}: over-long", sc.name);
+            assert_eq!(stream.remaining(), 0);
+        }
+    }
+}

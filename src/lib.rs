@@ -26,11 +26,14 @@
 //! * [`serve`] — the network layer: a TCP server speaking the
 //!   length-prefixed binary wire protocol of DESIGN.md §9 in front of
 //!   consistent-hash service shards, plus the matching client.
+//! * [`store`] — the chunked binary constraint file format (header with
+//!   generator provenance, checksummed columnar chunk frames) backing
+//!   the out-of-core runs (DESIGN.md §10).
 //! * [`lowerbound`] — Section 5: the two-curve intersection problem, its
 //!   hard distribution, protocols, and the reduction to 2-D LP.
 //! * [`baselines`] — Chan–Chen, classic Clarkson, and naive baselines.
 //! * [`workloads`] — synthetic workload generators used by benches and
-//!   examples.
+//!   examples, including streaming generators and store-file loaders.
 
 #![forbid(unsafe_code)]
 
@@ -46,4 +49,5 @@ pub use llp_sampling as sampling;
 pub use llp_serve as serve;
 pub use llp_service as service;
 pub use llp_solver as solver;
+pub use llp_store as store;
 pub use llp_workloads as workloads;

@@ -40,6 +40,7 @@ fn serve_mixes_produce_a_valid_service_block() {
         service,
         columnar: Vec::new(),
         net: Vec::new(),
+        ooc: Vec::new(),
     };
     report::validate(&r).expect("service block must validate");
     let hot = r.service.iter().find(|c| c.mix == "hot_key").unwrap();
@@ -138,10 +139,50 @@ fn t13c_columnar_scan_is_bit_identical() {
         service: Vec::new(),
         columnar: cells,
         net: Vec::new(),
+        ooc: Vec::new(),
     };
     report::validate(&r).expect("columnar block must validate");
     let parsed = report::Report::from_json(&r.to_json()).expect("round-trip");
     assert_eq!(parsed, r);
+}
+
+#[test]
+fn ooc_quick_block_validates_and_survives_the_file_gate() {
+    // A shrunken `experiments ooc --quick`: write every OOC scenario to a
+    // chunk store, run all four models off the files, and pass the written
+    // report through the exact gates CI's `--check` applies — structural
+    // `validate` plus the on-disk re-checksum of `verify_ooc_files`.
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("target/tmp-ooc-tests/experiments-quick");
+    let cells = bench::ooc::run_ooc(bench::RunBudget::Quick, &dir);
+    assert!(!cells.is_empty());
+    let r = report::Report {
+        schema_version: report::SCHEMA_VERSION,
+        label: "ooc-quick-test".to_string(),
+        budget: "quick".to_string(),
+        cells: Vec::new(),
+        service: Vec::new(),
+        columnar: Vec::new(),
+        net: Vec::new(),
+        ooc: cells,
+    };
+    report::validate(&r).expect("ooc block must validate");
+    report::verify_ooc_files(&r).expect("store files must re-checksum clean");
+    assert!(!r.ooc_summary_table().render().is_empty());
+    let parsed = report::Report::from_json(&r.to_json()).expect("round-trip");
+    assert_eq!(parsed, r);
+    // Corrupt one store file in place: the filesystem gate — and only the
+    // filesystem gate — must now refuse the otherwise-valid report.
+    let victim = std::path::Path::new(&r.ooc[0].path);
+    let mut bytes = std::fs::read(victim).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(victim, &bytes).unwrap();
+    report::validate(&r).expect("structural validate never touches disk");
+    assert!(
+        report::verify_ooc_files(&r).is_err(),
+        "a flipped byte must fail the on-disk gate"
+    );
 }
 
 #[test]

@@ -186,6 +186,65 @@ fn mpc_is_thread_count_invariant() {
 }
 
 #[test]
+fn file_backed_streaming_matches_in_ram_at_every_thread_count() {
+    // The out-of-core differential: every registry family written to a
+    // chunked store file and solved with `solve_chunked` reading real
+    // file bytes must be bit-identical — solution, stats, meters — to
+    // the in-RAM `solve` on the generator's output, at threads 1 and 4.
+    // Chunk boundaries (chunk_len 512 cuts every quick instance into
+    // many frames) must be invisible to the sampler, the violation
+    // kernels, and the space accounting.
+    use lodim_lp::bigdata::ooc::FileSource;
+    use lodim_lp::core::lptype::ColumnarProblem;
+    use lodim_lp::workloads::scenario::{registry, RunBudget, ScenarioData};
+
+    let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("target/tmp-ooc-tests/parallel-determinism");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    fn check<P: ColumnarProblem>(
+        name: &str,
+        problem: &P,
+        data: &[P::Constraint],
+        path: &std::path::Path,
+    ) {
+        let cfg = ClarksonConfig::lean(3);
+        assert_thread_count_invariant(&format!("ooc-file/{name}"), || {
+            let mut rng = StdRng::seed_from_u64(SEED + 100);
+            let mut source = FileSource::open(path).unwrap();
+            let (sol, stats) =
+                streaming::solve_chunked(problem, &mut source, &cfg, &mut rng).unwrap();
+            (problem.objective_value(&sol).to_bits(), stats)
+        });
+        // And the file-backed run equals the in-RAM run, not just itself.
+        let mut rng = StdRng::seed_from_u64(SEED + 100);
+        let (ram_sol, ram_stats) =
+            streaming::solve(problem, data, &cfg, SamplingMode::TwoPassIid, &mut rng).unwrap();
+        let mut rng = StdRng::seed_from_u64(SEED + 100);
+        let mut source = FileSource::open(path).unwrap();
+        let (file_sol, file_stats) =
+            streaming::solve_chunked(problem, &mut source, &cfg, &mut rng).unwrap();
+        assert_eq!(ram_stats, file_stats, "{name}: stats diverged");
+        assert_eq!(
+            problem.objective_value(&ram_sol).to_bits(),
+            problem.objective_value(&file_sol).to_bits(),
+            "{name}: objective bits diverged"
+        );
+    }
+
+    for sc in registry(RunBudget::Quick) {
+        let path = dir.join(format!("{}.llps", sc.name));
+        let (header, written) = lodim_lp::workloads::write_scenario(&sc, &path, 512).unwrap();
+        assert_eq!(written, header.file_bytes(), "{}: writer meter", sc.name);
+        match sc.generate() {
+            ScenarioData::Lp(p, cs) => check(sc.name, &p, &cs, &path),
+            ScenarioData::Svm(p, pts) => check(sc.name, &p, &pts, &path),
+            ScenarioData::Meb(p, pts) => check(sc.name, &p, &pts, &path),
+        }
+    }
+}
+
+#[test]
 fn violation_scan_invariant_across_many_thread_counts() {
     // Beyond the 1-vs-4 contract: the scan count and the RAM solve are
     // identical for *every* thread count, including ones exceeding the

@@ -6,15 +6,15 @@ use llp_bench::report::{self, Cell, Report};
 use llp_bench::RunBudget;
 use llp_workloads::scenario::{registry, Family};
 
-/// A golden v4 document, written by hand (v2 added the `service` block,
-/// v3 the `columnar` block, v4 the `net` block — older files no longer
-/// parse, by design: the schema version exists so consumers refuse them
-/// loudly). If a schema change breaks this parse, bump
-/// `report::SCHEMA_VERSION` and regenerate the golden — silently
+/// A golden v5 document, written by hand (v2 added the `service` block,
+/// v3 the `columnar` block, v4 the `net` block, v5 the `ooc` block —
+/// older files no longer parse, by design: the schema version exists so
+/// consumers refuse them loudly). If a schema change breaks this parse,
+/// bump `report::SCHEMA_VERSION` and regenerate the golden — silently
 /// reinterpreting old trajectory files is the failure mode this test
 /// exists to catch.
-const GOLDEN_V4: &str = r#"{
-  "schema_version": 4,
+const GOLDEN_V5: &str = r#"{
+  "schema_version": 5,
   "label": "golden",
   "budget": "quick",
   "cells": [
@@ -68,12 +68,28 @@ const GOLDEN_V4: &str = r#"{
       "mean_ms": 0.7, "queue_p95_ms": 0.22,
       "throughput_rps": 2040.0, "wall_ms": 50.0
     }
+  ],
+  "ooc": [
+    {
+      "scenario": "lp_uniform", "family": "random_lp", "model": "streaming",
+      "n": 3750, "d": 3, "dim": 3, "seed": 161, "chunk_len": 4096,
+      "file_bytes": 90070, "bytes_written": 90070, "bytes_read": 1621330,
+      "passes": 18, "objective": -1.0000517, "violations": 0,
+      "iterations": 11, "wall_ms": 30.5, "path": "llp_ooc_chunks/lp_uniform.llps"
+    },
+    {
+      "scenario": "lp_uniform", "family": "random_lp", "model": "ram",
+      "n": 3750, "d": 3, "dim": 3, "seed": 161, "chunk_len": 4096,
+      "file_bytes": 90070, "bytes_written": 90070, "bytes_read": 90070,
+      "passes": 0, "objective": -1.0000517, "violations": 0,
+      "iterations": 11, "wall_ms": 12.5, "path": "llp_ooc_chunks/lp_uniform.llps"
+    }
   ]
 }"#;
 
 #[test]
-fn golden_v4_document_parses() {
-    let r = Report::from_json(GOLDEN_V4).expect("golden must parse");
+fn golden_v5_document_parses() {
+    let r = Report::from_json(GOLDEN_V5).expect("golden must parse");
     assert_eq!(r.schema_version, report::SCHEMA_VERSION);
     assert_eq!(r.label, "golden");
     assert_eq!(r.budget, "quick");
@@ -111,38 +127,61 @@ fn golden_v4_document_parses() {
         .map(|c| c.submitted)
         .sum();
     assert_eq!(shard_submitted, fleet.submitted);
+    // The ooc block: a streaming cell and a loaded cell over the same
+    // store file, with the byte-meter laws `validate_ooc` enforces intact.
+    assert_eq!(r.ooc.len(), 2);
+    let stream = r.ooc.iter().find(|c| c.model == "streaming").unwrap();
+    assert_eq!(stream.passes, 18);
+    let floor = stream.passes * stream.file_bytes;
+    assert!(stream.bytes_read >= floor && stream.bytes_read <= floor + stream.file_bytes);
+    let loaded = r.ooc.iter().find(|c| c.model == "ram").unwrap();
+    assert_eq!((loaded.passes, loaded.bytes_read), (0, loaded.file_bytes));
+    for c in &r.ooc {
+        assert_eq!(c.bytes_written, c.file_bytes);
+        assert_eq!(c.path, "llp_ooc_chunks/lp_uniform.llps");
+        assert!((c.objective - -1.0000517).abs() < 1e-12);
+    }
 }
 
 #[test]
-fn golden_v1_v2_and_v3_documents_are_refused() {
+fn golden_v1_through_v4_documents_are_refused() {
     // A v1-era document: no `service` block, version 1. Both the parse
     // (missing field) and any forced validate must fail — old trajectory
     // files cannot be silently reinterpreted under a newer schema.
-    let v1 = GOLDEN_V4
-        .replace("\"schema_version\": 4", "\"schema_version\": 1")
+    let v1 = GOLDEN_V5
+        .replace("\"schema_version\": 5", "\"schema_version\": 1")
         .replace("],\n  \"service\"", "],\n  \"service_gone\"")
         .replace("],\n  \"columnar\"", "],\n  \"columnar_gone\"")
-        .replace("],\n  \"net\"", "],\n  \"net_gone\"");
+        .replace("],\n  \"net\"", "],\n  \"net_gone\"")
+        .replace("],\n  \"ooc\"", "],\n  \"ooc_gone\"");
     assert!(Report::from_json(&v1).is_err(), "v1 shape must not parse");
     // A v2-era document: version 2, no `columnar` block.
-    let v2 = GOLDEN_V4
-        .replace("\"schema_version\": 4", "\"schema_version\": 2")
+    let v2 = GOLDEN_V5
+        .replace("\"schema_version\": 5", "\"schema_version\": 2")
         .replace("],\n  \"columnar\"", "],\n  \"columnar_gone\"")
-        .replace("],\n  \"net\"", "],\n  \"net_gone\"");
+        .replace("],\n  \"net\"", "],\n  \"net_gone\"")
+        .replace("],\n  \"ooc\"", "],\n  \"ooc_gone\"");
     assert!(Report::from_json(&v2).is_err(), "v2 shape must not parse");
     // A v3-era document: version 3, no `net` block — the shape the repo
     // wrote before the serving layer landed.
-    let v3 = GOLDEN_V4
-        .replace("\"schema_version\": 4", "\"schema_version\": 3")
-        .replace("],\n  \"net\"", "],\n  \"net_gone\"");
+    let v3 = GOLDEN_V5
+        .replace("\"schema_version\": 5", "\"schema_version\": 3")
+        .replace("],\n  \"net\"", "],\n  \"net_gone\"")
+        .replace("],\n  \"ooc\"", "],\n  \"ooc_gone\"");
     assert!(Report::from_json(&v3).is_err(), "v3 shape must not parse");
-    // Even a v3 document that *happens* to carry a net block (forward-
+    // A v4-era document: version 4, no `ooc` block — the shape the repo
+    // wrote before the out-of-core store landed.
+    let v4 = GOLDEN_V5
+        .replace("\"schema_version\": 5", "\"schema_version\": 4")
+        .replace("],\n  \"ooc\"", "],\n  \"ooc_gone\"");
+    assert!(Report::from_json(&v4).is_err(), "v4 shape must not parse");
+    // Even a v4 document that *happens* to carry an ooc block (forward-
     // ported by hand) is refused by validate on the version number.
-    let v3_with_net = GOLDEN_V4.replace("\"schema_version\": 4", "\"schema_version\": 3");
-    if let Ok(r) = Report::from_json(&v3_with_net) {
+    let v4_with_ooc = GOLDEN_V5.replace("\"schema_version\": 5", "\"schema_version\": 4");
+    if let Ok(r) = Report::from_json(&v4_with_ooc) {
         assert!(
             report::validate(&r).unwrap_err().contains("schema"),
-            "validate must refuse a v3 version number"
+            "validate must refuse a v4 version number"
         );
     }
 }
@@ -244,6 +283,25 @@ fn report_serialize_parse_compare_is_lossless() {
             throughput_rps: 123_456.789,
             wall_ms: 2048.0,
         }],
+        ooc: vec![report::OocCell {
+            scenario: "lp_uniform".to_string(),
+            family: "random_lp".to_string(),
+            model: "streaming".to_string(),
+            n: u64::MAX >> 12, // large but f64-exact (the JSON model is f64)
+            d: 3,
+            dim: 3,
+            seed: 161,
+            chunk_len: 65_536,
+            file_bytes: u64::MAX >> 13,
+            bytes_written: u64::MAX >> 13,
+            bytes_read: (u64::MAX >> 13) + 70,
+            passes: 1,
+            objective: 0.1 + 0.2, // awkward float on purpose
+            violations: 0,
+            iterations: 13,
+            wall_ms: f64::MIN_POSITIVE,
+            path: "llp_ooc_chunks/lp_uniform.llps".to_string(),
+        }],
     };
     let json = report.to_json();
     let parsed = Report::from_json(&json).expect("round-trip parse");
@@ -254,7 +312,7 @@ fn report_serialize_parse_compare_is_lossless() {
 
 #[test]
 fn truncated_and_mistyped_documents_are_rejected() {
-    let good = Report::from_json(GOLDEN_V4).unwrap().to_json();
+    let good = Report::from_json(GOLDEN_V5).unwrap().to_json();
     assert!(Report::from_json(&good[..good.len() - 2]).is_err());
     assert!(Report::from_json("{}").is_err(), "missing fields");
     assert!(Report::from_json(&good.replace("\"cells\"", "\"cell\"")).is_err());
